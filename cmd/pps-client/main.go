@@ -1,0 +1,140 @@
+// Command pps-client is the user side of Privacy Preserving Search: it
+// owns the key, encrypts corpora and queries, and talks to a ROAR
+// frontend. The servers never see plaintext or key material.
+//
+// Generate an encrypted corpus file (for roar-member to load):
+//
+//	pps-client -keyseed 1 -gen 10000 -out corpus.dat
+//
+// Ask the membership server to load it:
+//
+//	pps-client -member 127.0.0.1:7000 -load corpus.dat
+//
+// Search through a frontend:
+//
+//	pps-client -keyseed 1 -frontend 127.0.0.1:8000 -keyword w00012
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/store"
+	"roar/internal/wire"
+	"roar/internal/workload"
+)
+
+func main() {
+	var (
+		keyseed  = flag.Int64("keyseed", 1, "deterministic key seed (demo only)")
+		gen      = flag.Int("gen", 0, "generate N encrypted documents")
+		out      = flag.String("out", "corpus.dat", "output file for -gen")
+		member   = flag.String("member", "", "membership address for -load")
+		load     = flag.String("load", "", "corpus file for the membership server to load")
+		fe       = flag.String("frontend", "", "frontend address for queries")
+		keyword  = flag.String("keyword", "", "content keyword to search")
+		path     = flag.String("path", "", "path component to search")
+		sizeOver = flag.Float64("size-over", 0, "match files larger than this")
+	)
+	flag.Parse()
+
+	enc := pps.NewEncoder(pps.TestKey(*keyseed), pps.EncoderConfig{})
+
+	switch {
+	case *gen > 0:
+		if err := generate(enc, *gen, *out); err != nil {
+			fatal(err)
+		}
+	case *load != "":
+		if *member == "" {
+			fatal(fmt.Errorf("-load requires -member"))
+		}
+		cl := wire.NewClient(*member)
+		defer cl.Close()
+		var resp proto.LoadResp
+		if err := cl.Call(context.Background(), proto.MMemberLoad, proto.LoadReq{Path: *load}, &resp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("membership loaded %d records\n", resp.Records)
+	case *fe != "":
+		var preds []pps.Predicate
+		if *keyword != "" {
+			preds = append(preds, pps.Predicate{Kind: pps.Keyword, Word: *keyword})
+		}
+		if *path != "" {
+			preds = append(preds, pps.Predicate{Kind: pps.PathComponent, Word: *path})
+		}
+		if *sizeOver > 0 {
+			preds = append(preds, pps.Predicate{Kind: pps.SizeGreater, Value: *sizeOver})
+		}
+		if len(preds) == 0 {
+			fatal(fmt.Errorf("no predicates; use -keyword/-path/-size-over"))
+		}
+		if err := search(enc, *fe, preds); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func generate(enc *pps.Encoder, n int, out string) error {
+	gen := workload.NewCorpus(5000, 7)
+	files := gen.Generate(n)
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]pps.Encoded, 0, n)
+	for _, f := range files {
+		kws := f.Keywords
+		if len(kws) > 50 {
+			kws = kws[:50]
+		}
+		d := pps.Document{ID: rng.Uint64(), Path: f.Path, Size: f.Size,
+			Modified: f.Modified, Keywords: kws}
+		r, err := enc.EncryptDocument(d)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r)
+	}
+	if err := store.SaveFile(out, recs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d encrypted records to %s (%d bytes each)\n", n, out, enc.MetadataBytes())
+	return nil
+}
+
+func search(enc *pps.Encoder, addr string, preds []pps.Predicate) error {
+	q, err := enc.EncryptQuery(pps.And, preds...)
+	if err != nil {
+		return err
+	}
+	cl := wire.NewClient(addr)
+	defer cl.Close()
+	var resp proto.FEQueryResp
+	start := time.Now()
+	if err := cl.Call(context.Background(), proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries)\n",
+		len(resp.IDs), time.Since(start).Round(time.Millisecond),
+		time.Duration(resp.DelayNanos).Round(time.Millisecond), resp.SubQueries)
+	for i, id := range resp.IDs {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(resp.IDs)-10)
+			break
+		}
+		fmt.Printf("  %d\n", id)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pps-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command roar-frontend runs a ROAR front-end server: it polls the
+// membership server for cluster views, schedules client queries with
+// Algorithm 1, and reports node speed observations and failures back to
+// the membership server (§4.8, §4.9).
+//
+//	roar-frontend -listen 127.0.0.1:8000 -member 127.0.0.1:7000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"roar/internal/frontend"
+	"roar/internal/proto"
+	"roar/internal/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8000", "address to serve on")
+		member = flag.String("member", "127.0.0.1:7000", "membership server address")
+		pq     = flag.Int("pq", 0, "query partitioning level override (0 = view p)")
+		adjust = flag.Bool("adjust", true, "enable range adjustment (§4.8.2)")
+		splits = flag.Int("splits", 0, "max slow-sub-query splits per query")
+		poll   = flag.Duration("poll", time.Second, "view poll interval")
+	)
+	flag.Parse()
+
+	fe := frontend.New(frontend.Config{PQ: *pq, RangeAdjust: *adjust, MaxSplits: *splits})
+	defer fe.Close()
+	mcl := wire.NewClient(*member)
+	defer mcl.Close()
+
+	syncView := func() error {
+		var v proto.View
+		if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
+			return err
+		}
+		if len(v.Nodes) == 0 {
+			return fmt.Errorf("membership has no nodes yet")
+		}
+		return fe.ApplyView(v)
+	}
+	for i := 0; ; i++ {
+		if err := syncView(); err == nil {
+			break
+		} else if i > 60 {
+			fatal(fmt.Errorf("no usable view from %s: %w", *member, err))
+		}
+		time.Sleep(time.Second)
+	}
+
+	// Background: refresh the view and push statistics (§4.9).
+	go func() {
+		epoch := fe.View().Epoch
+		for range time.Tick(*poll) {
+			var v proto.View
+			if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
+				continue
+			}
+			if v.Epoch != epoch && len(v.Nodes) > 0 {
+				if err := fe.ApplyView(v); err == nil {
+					epoch = v.Epoch
+				}
+			}
+			report := proto.ReportReq{Speeds: fe.SpeedEstimates(), Failed: fe.FailedNodes()}
+			_ = mcl.Call(context.Background(), proto.MMemberReport, report, nil)
+		}
+	}()
+
+	d := wire.NewDispatcher()
+	d.Register(proto.MFEQuery, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.FEQueryReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		res, err := fe.Execute(ctx, req.Q)
+		if err != nil {
+			return nil, err
+		}
+		return proto.FEQueryResp{IDs: res.IDs, DelayNanos: int64(res.Delay), SubQueries: res.SubQueries}, nil
+	})
+	srv, err := wire.Serve(*listen, d.Handle)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("roar-frontend serving on %s (member %s)\n", srv.Addr(), *member)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roar-frontend:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command roar-member runs the membership server (§4.9): it owns the
+// ring topology, loads the corpus onto joining nodes, drives p changes,
+// and publishes views to frontends.
+//
+//	roar-member -listen 127.0.0.1:7000 -p 4 -rings 1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"roar/internal/membership"
+	"roar/internal/proto"
+	"roar/internal/ring"
+	"roar/internal/store"
+	"roar/internal/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7000", "address to serve on")
+		p      = flag.Int("p", 4, "initial partitioning level")
+		rings  = flag.Int("rings", 1, "number of rings")
+	)
+	flag.Parse()
+
+	coord, err := membership.New(membership.Config{P: *p, Rings: *rings})
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	d := wire.NewDispatcher()
+	d.Register(proto.MMemberJoin, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.JoinReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return coord.Join(ctx, req.Addr, req.SpeedHint)
+	})
+	d.Register(proto.MMemberLeave, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.LeaveReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return struct{}{}, coord.Leave(ctx, ring.NodeID(req.ID))
+	})
+	d.Register(proto.MMemberView, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+		return coord.View(), nil
+	})
+	d.Register(proto.MMemberSetP, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.SetPReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return struct{}{}, coord.ChangeP(ctx, req.P)
+	})
+	d.Register(proto.MMemberLoad, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.LoadReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		recs, err := store.LoadFile(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.LoadCorpus(ctx, recs); err != nil {
+			return nil, err
+		}
+		return proto.LoadResp{Records: len(recs)}, nil
+	})
+	d.Register(proto.MMemberReport, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.ReportReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		speeds := map[ring.NodeID]float64{}
+		for id, s := range req.Speeds {
+			speeds[ring.NodeID(id)] = s
+		}
+		coord.ReportSpeeds(speeds)
+		for _, id := range req.Failed {
+			// Long-term failure handling: redistribute the range.
+			_ = coord.HandleFailure(context.Background(), ring.NodeID(id))
+		}
+		return struct{}{}, nil
+	})
+
+	srv, err := wire.Serve(*listen, d.Handle)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("roar-member serving on %s (p=%d rings=%d)\n", srv.Addr(), *p, *rings)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roar-member:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command roar-node runs one ROAR data server and registers it with the
+// membership server. It stores encrypted metadata replicas for its ring
+// range and answers sub-queries.
+//
+//	roar-node -listen 127.0.0.1:0 -member 127.0.0.1:7000 -speed 0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"roar/internal/node"
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/wire"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "address to serve on")
+		member  = flag.String("member", "", "membership server address (optional)")
+		mbits   = flag.Int("mbits", 0, "PPS filter size in bits (0 = full default encoding)")
+		threads = flag.Int("threads", 1, "matching threads")
+		speed   = flag.Float64("speed", 0, "throttle to N objects/s (0 = unthrottled)")
+		hint    = flag.Float64("hint", 1, "speed hint reported at join")
+	)
+	flag.Parse()
+
+	params := pps.ServerParams{MBits: *mbits}
+	if *mbits == 0 {
+		params = pps.NewEncoder(pps.MasterKey{}, pps.EncoderConfig{}).ServerParams()
+	}
+	n, err := node.New(node.Config{
+		Params:        params,
+		MatchThreads:  *threads,
+		ObjectsPerSec: *speed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := n.Serve(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("roar-node serving on %s (mbits=%d threads=%d)\n", srv.Addr(), params.MBits, *threads)
+
+	if *member != "" {
+		cl := wire.NewClient(*member)
+		defer cl.Close()
+		var resp proto.JoinResp
+		if err := cl.Call(context.Background(), proto.MMemberJoin,
+			proto.JoinReq{Addr: srv.Addr(), SpeedHint: *hint}, &resp); err != nil {
+			fatal(fmt.Errorf("joining %s: %w", *member, err))
+		}
+		fmt.Printf("joined as node %d on ring %d at %.6f\n", resp.ID, resp.Ring, resp.Start)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roar-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Elastic repartition: the headline ROAR capability (§4.5, §7.4) —
+// track a query-delay target through load swings by changing the
+// partitioning level p at runtime, without restarting or losing answers.
+// Raising p is instant (replicas are dropped lazily); lowering it waits
+// for replication to complete before the frontend switches.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"roar/internal/cluster"
+	"roar/internal/pps"
+	"roar/internal/stats"
+	"roar/internal/workload"
+)
+
+const (
+	nodes    = 12
+	target   = 30 * time.Millisecond
+	perPhase = 30
+)
+
+func main() {
+	c, err := cluster.Start(cluster.Options{
+		Nodes:      nodes,
+		P:          2, // start heavily replicated: r = 6
+		NodeSpeeds: workload.UniformSpeeds(nodes, 120000),
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GenerateCorpus(6000); err != nil {
+		log.Fatal(err)
+	}
+	q, err := c.Enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "no-such"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("delay target: %v; starting at p=%d (r=%d)\n\n", target, c.Coord.P(), nodes/c.Coord.P())
+	phases := []struct {
+		name    string
+		workers int
+	}{
+		{"low load   (1 client) ", 1},
+		{"flash crowd (4 clients)", 4},
+		{"load drops  (1 client) ", 1},
+	}
+	for _, ph := range phases {
+		mean := measure(c, q, ph.workers)
+		fmt.Printf("%s p=%-2d mean delay %8v", ph.name, c.Coord.P(), mean.Round(time.Millisecond))
+		switch {
+		case mean > target && c.Coord.P() < nodes/2:
+			newP := c.Coord.P() * 2
+			t0 := time.Now()
+			if err := c.Coord.ChangeP(context.Background(), newP); err != nil {
+				log.Fatal(err)
+			}
+			if err := c.SyncView(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> over target: raised p to %d in %v (replica drop, no data moved)", newP, time.Since(t0).Round(time.Millisecond))
+		case mean < target/4 && c.Coord.P() > 2:
+			newP := c.Coord.P() / 2
+			before := c.Coord.ObjectsPushed()
+			t0 := time.Now()
+			if err := c.Coord.ChangeP(context.Background(), newP); err != nil {
+				log.Fatal(err)
+			}
+			if err := c.SyncView(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> far under target: lowered p to %d in %v (%d replicas shipped first)",
+				newP, time.Since(t0).Round(time.Millisecond), c.Coord.ObjectsPushed()-before)
+		default:
+			fmt.Printf("  -> within band: hold")
+		}
+		mean = measure(c, q, ph.workers)
+		fmt.Printf("; now %v\n", mean.Round(time.Millisecond))
+	}
+}
+
+func measure(c *cluster.Cluster, q pps.Query, workers int) time.Duration {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		s  = stats.NewSample(perPhase)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPhase/workers; i++ {
+				res, err := c.FE.Execute(context.Background(), q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				s.Add(res.Delay.Seconds())
+				mu.Unlock()
+				if workers == 1 {
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Duration(s.Mean() * float64(time.Second))
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and sanity-checks the table shapes. This is the integration test of
+// the entire reproduction pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	exps := All()
+	if len(exps) < 20 {
+		t.Fatalf("only %d experiments registered, expected the full evaluation suite", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if len(tab.Columns) == 0 {
+				t.Fatalf("%s has no columns", e.ID)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row %d has %d cells, want %d", e.ID, i, len(row), len(tab.Columns))
+				}
+			}
+			if tab.String() == "" {
+				t.Fatalf("%s renders empty", e.ID)
+			}
+			t.Logf("\n%s", tab)
+		})
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("fig6.1"); !ok {
+		t.Error("fig6.1 should exist")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = "n"
+	s := tab.String()
+	for _, want := range []string{"demo", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFig61Shape pins the paper's headline ordering: delay decreases
+// with p and SW is never better than ROAR at the largest p.
+func TestFig61Shape(t *testing.T) {
+	tab, err := fig61(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstROAR, lastROAR float64
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("row %d ROAR cell %q", i, row[3])
+		}
+		if i == 0 {
+			firstROAR = v
+		}
+		lastROAR = v
+	}
+	if lastROAR >= firstROAR {
+		t.Errorf("ROAR delay should fall with p: first %v last %v", firstROAR, lastROAR)
+	}
+}

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roar/internal/sim"
+	"roar/internal/workload"
+)
+
+// Chapter 6 experiments: the analytic/simulation comparison of SW, PTN,
+// ROAR and the optimal bound. All run on internal/sim, which drives the
+// production Algorithm 1 scheduler.
+
+func init() {
+	register(Experiment{ID: "fig6.1", Title: "Basic delay comparison SW/PTN/ROAR/OPT vs p", Run: fig61})
+	register(Experiment{ID: "fig6.2", Title: "Query delay vs number of servers N", Run: fig62})
+	register(Experiment{ID: "fig6.3", Title: "Query delay vs load", Run: fig63})
+	register(Experiment{ID: "fig6.4", Title: "Query delay vs server heterogeneity", Run: fig64})
+	register(Experiment{ID: "fig6.5", Title: "Sensitivity to server-speed estimation error", Run: fig65})
+	register(Experiment{ID: "fig6.6", Title: "Effect of raising pQ above p", Run: fig66})
+	register(Experiment{ID: "fig6.7", Title: "Ablation of ROAR mechanisms", Run: fig67})
+	register(Experiment{ID: "fig6.8", Title: "Unavailability for strict queries vs failures", Run: fig68})
+	register(Experiment{ID: "tab6.2", Title: "Messages per operation (bandwidth comparison)", Run: tab62})
+}
+
+// simBase is the common Table-6.1-style parameterisation.
+func simBase(quick bool) (n, queries int) {
+	if quick {
+		return 24, 600
+	}
+	return 48, 4000
+}
+
+func heteroSpeeds(n int, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.LogNormalSpeeds(n, 1, sigma, rng)
+}
+
+func runAlgos(cfg sim.Config, algos []sim.Algo) ([]sim.Result, error) {
+	out := make([]sim.Result, 0, len(algos))
+	for _, a := range algos {
+		c := cfg
+		c.Algo = a
+		r, err := sim.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", a, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func delayCell(r sim.Result) string {
+	if r.Overloaded {
+		return "overload"
+	}
+	return f3(r.MeanDelay)
+}
+
+func fig61(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.1", Title: "Mean query delay (s) vs p; heterogeneous servers (σ=0.5)",
+		Columns: []string{"p", "SW", "PTN", "ROAR", "OPT"}}
+	speeds := heteroSpeeds(n, 0.5, 1)
+	for _, p := range divisorsOf(n) {
+		if p < 2 || p > n/2 {
+			continue
+		}
+		cfg := sim.Config{N: n, P: p, Speeds: speeds, Rate: 1, NumQueries: queries,
+			Seed: 2, ProportionalRanges: true}
+		rs, err := runAlgos(cfg, []sim.Algo{sim.SW, sim.PTN, sim.ROAR, sim.OPT})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fi(p), delayCell(rs[0]), delayCell(rs[1]), delayCell(rs[2]), delayCell(rs[3]))
+	}
+	t.Notes = "expected shape: delay falls with p for all; PTN ≤ ROAR ≤ SW; OPT lowest"
+	return t, nil
+}
+
+func divisorsOf(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func fig62(quick bool) (Table, error) {
+	_, queries := simBase(quick)
+	t := Table{ID: "fig6.2", Title: "Mean query delay (s) vs N at fixed r=4",
+		Columns: []string{"N", "SW", "PTN", "ROAR", "OPT"}}
+	ns := []int{16, 32, 64}
+	if !quick {
+		ns = []int{16, 32, 64, 128, 256}
+	}
+	for _, n := range ns {
+		speeds := heteroSpeeds(n, 0.5, 3)
+		// Load scales with capacity so utilisation is constant.
+		cfg := sim.Config{N: n, P: n / 4, Speeds: speeds, Rate: 0.05 * float64(n),
+			NumQueries: queries, Seed: 4, ProportionalRanges: true}
+		rs, err := runAlgos(cfg, []sim.Algo{sim.SW, sim.PTN, sim.ROAR, sim.OPT})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fi(n), delayCell(rs[0]), delayCell(rs[1]), delayCell(rs[2]), delayCell(rs[3]))
+	}
+	t.Notes = "delay falls with N (sub-queries shrink as p=N/4 grows)"
+	return t, nil
+}
+
+func fig63(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.3", Title: "Mean query delay (s) vs offered load",
+		Columns: []string{"load (frac of capacity)", "SW", "PTN", "ROAR", "OPT"}}
+	speeds := heteroSpeeds(n, 0.5, 5)
+	var capacity float64
+	for _, s := range speeds {
+		capacity += s
+	}
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.95} {
+		rate := load * capacity // each query = 1 dataset of work
+		cfg := sim.Config{N: n, P: n / 4, Speeds: speeds, Rate: rate,
+			NumQueries: queries, Seed: 6, ProportionalRanges: true}
+		rs, err := runAlgos(cfg, []sim.Algo{sim.SW, sim.PTN, sim.ROAR, sim.OPT})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(f3(load), delayCell(rs[0]), delayCell(rs[1]), delayCell(rs[2]), delayCell(rs[3]))
+	}
+	t.Notes = "delays grow toward saturation; SW saturates earliest (fewest choices)"
+	return t, nil
+}
+
+func fig64(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.4", Title: "Mean query delay (s) vs heterogeneity σ (log-normal speeds)",
+		Columns: []string{"sigma", "SW", "PTN", "ROAR", "ROAR-2ring", "OPT"}}
+	for _, sigma := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		speeds := heteroSpeeds(n, sigma, 7)
+		cfg := sim.Config{N: n, P: n / 4, Speeds: speeds, Rate: 1,
+			NumQueries: queries, Seed: 8, ProportionalRanges: true}
+		rs, err := runAlgos(cfg, []sim.Algo{sim.SW, sim.PTN, sim.ROAR, sim.ROAR2, sim.OPT})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(f3(sigma), delayCell(rs[0]), delayCell(rs[1]), delayCell(rs[2]),
+			delayCell(rs[3]), delayCell(rs[4]))
+	}
+	t.Notes = "gap between SW and PTN/ROAR widens with heterogeneity; 2 rings closes most of ROAR's gap to PTN"
+	return t, nil
+}
+
+func fig65(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.5", Title: "Mean query delay (s) vs speed-estimation error",
+		Columns: []string{"err frac", "PTN", "ROAR"}}
+	speeds := heteroSpeeds(n, 0.5, 9)
+	for _, e := range []float64{0, 0.1, 0.2, 0.4, 0.8} {
+		cfg := sim.Config{N: n, P: n / 4, Speeds: speeds, Rate: 2, EstErrFrac: e,
+			NumQueries: queries, Seed: 10, ProportionalRanges: true}
+		rs, err := runAlgos(cfg, []sim.Algo{sim.PTN, sim.ROAR})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(f3(e), delayCell(rs[0]), delayCell(rs[1]))
+	}
+	t.Notes = "both degrade gracefully with estimation error"
+	return t, nil
+}
+
+func fig66(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.6", Title: "Effect of pQ > p on ROAR (p=n/8)",
+		Columns: []string{"pQ", "delay@low load", "delay@high load", "subqueries"}}
+	speeds := heteroSpeeds(n, 0.5, 11)
+	var capacity float64
+	for _, s := range speeds {
+		capacity += s
+	}
+	p := n / 8
+	for _, mult := range []int{1, 2, 4} {
+		pq := p * mult
+		lo := sim.Config{N: n, P: p, PQ: pq, Speeds: speeds, Rate: 0.1 * capacity,
+			NumQueries: queries, Seed: 12, ProportionalRanges: true,
+			FixedOverhead: 0.002, Algo: sim.ROAR}
+		rlo, err := sim.Run(lo)
+		if err != nil {
+			return t, err
+		}
+		hi := lo
+		hi.Rate = 0.7 * capacity
+		rhi, err := sim.Run(hi)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fi(pq), delayCell(rlo), delayCell(rhi), f1(rlo.SubQueries))
+	}
+	t.Notes = "raising pQ cuts delay at low load; at high load the per-sub-query overhead erodes the gain"
+	return t, nil
+}
+
+func fig67(quick bool) (Table, error) {
+	n, queries := simBase(quick)
+	t := Table{ID: "fig6.7", Title: "Ablation: ROAR mechanisms (σ=0.8, p=n/4)",
+		Columns: []string{"variant", "mean delay", "p99", "subqueries"}}
+	speeds := heteroSpeeds(n, 0.8, 13)
+	base := sim.Config{N: n, P: n / 4, Speeds: speeds, Rate: 1,
+		NumQueries: queries, Seed: 14, ProportionalRanges: true, Algo: sim.ROAR}
+	variants := []struct {
+		name string
+		mod  func(c sim.Config) sim.Config
+	}{
+		{"ROAR (plain)", func(c sim.Config) sim.Config { return c }},
+		{"+range adjust", func(c sim.Config) sim.Config { c.RangeAdjust = true; return c }},
+		{"+split slowest", func(c sim.Config) sim.Config { c.MaxSplits = 2; return c }},
+		{"+adjust+split", func(c sim.Config) sim.Config { c.RangeAdjust = true; c.MaxSplits = 2; return c }},
+		{"2 rings", func(c sim.Config) sim.Config { c.Algo = sim.ROAR2; return c }},
+		{"random starts (4)", func(c sim.Config) sim.Config { c.RandTries = 4; return c }},
+	}
+	for _, v := range variants {
+		r, err := sim.Run(v.mod(base))
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(v.name, delayCell(r), f3(r.P99), f1(r.SubQueries))
+	}
+	t.Notes = "each mechanism trims delay; splitting also raises sub-query count (fixed overheads)"
+	return t, nil
+}
+
+func fig68(quick bool) (Table, error) {
+	n := 24
+	trials := 4000
+	if !quick {
+		n = 48
+		trials = 20000
+	}
+	p := n / 4 // r = 4
+	t := Table{ID: "fig6.8", Title: fmt.Sprintf("P(data loss) vs failed nodes (n=%d, r=4)", n),
+		Columns: []string{"failures", "SW", "ROAR", "ROAR-2ring", "PTN"}}
+	for _, k := range []int{2, 4, 6, 8, 10, 12} {
+		row := []string{fi(k)}
+		for _, a := range []sim.Algo{sim.SW, sim.ROAR, sim.ROAR2, sim.PTN} {
+			u, err := sim.Unavailability(sim.AvailabilityConfig{
+				Algo: a, N: n, P: p, Trials: trials, Seed: 15}, k)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", u))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = "SW loses data first (any r-run of failures); ROAR needs a strictly longer run; multiple rings and PTN are most robust"
+	return t, nil
+}
+
+func tab62(quick bool) (Table, error) {
+	n, p, d := 40, 8, 100000
+	if !quick {
+		n, p, d = 1000, 100, 5000000
+	}
+	rows, err := sim.MessageCosts(n, p, d)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{ID: "tab6.2", Title: fmt.Sprintf("Messages per operation (n=%d, p=%d, r=%d, D=%d)", n, p, n/p, d),
+		Columns: []string{"operation", "ROAR", "PTN", "SW", "RAND"}}
+	for _, r := range rows {
+		t.AddRow(r.Op, f0(r.ROAR), f0(r.PTN), f0(r.SW), f0(r.RAND))
+	}
+	roarF, ptnF, err := sim.ReconfigurationCost(n, p, p/2)
+	if err != nil {
+		return t, err
+	}
+	t.Notes = fmt.Sprintf("reconfiguring p=%d→%d transfers %.1f object-copies/object for ROAR vs %.2f dataset fractions for PTN (%.0fx more data moved by PTN per §6.3)",
+		p, p/2, roarF, ptnF, math.Max(1, ptnF*float64(d)/(roarF*float64(d))))
+	return t, nil
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"roar/internal/node"
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/ptn"
+	"roar/internal/ring"
+	"roar/internal/stats"
+	"roar/internal/store"
+	"roar/internal/wire"
+)
+
+// ptnCluster runs the PTN baseline on the same node servers as ROAR:
+// cluster k owns the id arc (k/p, (k+1)/p], every node of a cluster
+// stores that full arc, and a query sends one arc-sized sub-query per
+// cluster to the member with the smallest estimated finish time. This is
+// the experimental comparator of Figs 7.12 and 7.14.
+type ptnCluster struct {
+	enc     *pps.Encoder
+	layout  *ptn.PTN
+	nodes   []*node.Node
+	servers []*wire.Server
+	clients map[ring.NodeID]*wire.Client
+	speeds  map[ring.NodeID]*stats.EWMA
+	outMu   sync.Mutex
+	out     map[ring.NodeID]float64 // outstanding sub-query sizes
+}
+
+// startPTN builds a PTN cluster of n nodes in p speed-balanced clusters.
+func startPTN(n, p int, nodeSpeeds []float64, fixedCost time.Duration) (*ptnCluster, error) {
+	c := &ptnCluster{
+		enc:     slimEncoder,
+		clients: map[ring.NodeID]*wire.Client{},
+		speeds:  map[ring.NodeID]*stats.EWMA{},
+		out:     map[ring.NodeID]float64{},
+	}
+	ids := make([]ring.NodeID, n)
+	hints := map[ring.NodeID]float64{}
+	for i := 0; i < n; i++ {
+		cfg := node.Config{Params: c.enc.ServerParams(), FixedQueryCost: fixedCost}
+		if nodeSpeeds != nil {
+			cfg.ObjectsPerSec = nodeSpeeds[i]
+		}
+		nd, err := node.New(cfg)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		srv, err := nd.Serve("127.0.0.1:0")
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+		c.servers = append(c.servers, srv)
+		ids[i] = ring.NodeID(i)
+		c.clients[ids[i]] = wire.NewClient(srv.Addr())
+		e := stats.NewEWMA(0.1)
+		e.Set(1)
+		c.speeds[ids[i]] = e
+		if nodeSpeeds != nil {
+			hints[ids[i]] = nodeSpeeds[i]
+		} else {
+			hints[ids[i]] = 1
+		}
+	}
+	layout, err := ptn.NewBalanced(ids, hints, p)
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.layout = layout
+	return c, nil
+}
+
+func (c *ptnCluster) close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// load pushes every record to all members of its id arc's cluster.
+func (c *ptnCluster) load(recs []pps.Encoded) error {
+	p := c.layout.P()
+	byCluster := make([][]pps.Encoded, p)
+	for _, r := range recs {
+		pt := float64(store.PointOf(r.ID))
+		k := int(pt * float64(p))
+		if k >= p {
+			k = p - 1
+		}
+		byCluster[k] = append(byCluster[k], r)
+	}
+	for k := 0; k < p; k++ {
+		for _, id := range c.layout.Cluster(k) {
+			cl := c.clients[id]
+			for off := 0; off < len(byCluster[k]); off += 2000 {
+				end := off + 2000
+				if end > len(byCluster[k]) {
+					end = len(byCluster[k])
+				}
+				if err := cl.Call(context.Background(), proto.MNodePut,
+					proto.PutReq{Records: byCluster[k][off:end]}, nil); err != nil {
+					return fmt.Errorf("ptn load: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// query executes one encrypted query and returns ids + delay.
+func (c *ptnCluster) query(ctx context.Context, q pps.Query) ([]uint64, time.Duration, error) {
+	t0 := time.Now()
+	p := c.layout.P()
+	size := 1 / float64(p)
+	est := estFunc(func(id ring.NodeID, sz float64) float64 {
+		sp, _ := c.speeds[id].Value()
+		if sp <= 0 {
+			sp = 1
+		}
+		c.outMu.Lock()
+		o := c.out[id]
+		c.outMu.Unlock()
+		return (o + sz) / sp
+	})
+	plan, err := c.layout.Schedule(est, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids []uint64
+	)
+	errs := make([]error, len(plan.Subs))
+	for i, sub := range plan.Subs {
+		wg.Add(1)
+		go func(i int, nid ring.NodeID, k int) {
+			defer wg.Done()
+			lo := float64(k) / float64(p)
+			hi := float64(k+1) / float64(p)
+			c.outMu.Lock()
+			c.out[nid] += size
+			c.outMu.Unlock()
+			defer func() {
+				c.outMu.Lock()
+				c.out[nid] -= size
+				c.outMu.Unlock()
+			}()
+			start := time.Now()
+			var resp proto.QueryResp
+			if err := c.clients[nid].Call(ctx, proto.MNodeQuery,
+				proto.QueryReq{Lo: lo, Hi: hi, Q: q}, &resp); err != nil {
+				errs[i] = err
+				return
+			}
+			if d := time.Since(start).Seconds(); d > 0 {
+				c.speeds[nid].Observe(size / d)
+			}
+			mu.Lock()
+			ids = append(ids, resp.IDs...)
+			mu.Unlock()
+		}(i, sub.Node, sub.Cluster)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids, time.Since(t0), nil
+}
+
+// estFunc adapts a closure to core.Estimator's shape for ptn.Schedule.
+type estFunc func(ring.NodeID, float64) float64
+
+func (f estFunc) EstimateFinish(id ring.NodeID, size float64) float64 { return f(id, size) }

@@ -1,0 +1,252 @@
+// Package cluster is the in-process test harness for the full ROAR
+// system: N data nodes served over loopback TCP, a membership
+// coordinator, and a frontend — the same roles as the paper's Hen/EC2
+// deployments (§7.1), shrunk onto one machine. All experiment code and
+// the integration tests run through this package so they exercise the
+// complete networked path: scheduling, RPC, matching, reconfiguration
+// and failure handling.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"roar/internal/frontend"
+	"roar/internal/membership"
+	"roar/internal/node"
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/ring"
+	"roar/internal/wire"
+	"roar/internal/workload"
+)
+
+// Options configures a cluster.
+type Options struct {
+	Nodes int
+	Rings int // default 1
+	P     int // initial partitioning level
+
+	// MatchThreads per node (default 1).
+	MatchThreads int
+	// FixedQueryCost is a constant per-sub-query node overhead (§2's
+	// fixed costs; used by the throughput-vs-p experiments).
+	FixedQueryCost time.Duration
+	// NodeSpeeds, when set, throttles node i to NodeSpeeds[i] objects
+	// per second — the Table 7.1 hardware emulation. nil = unthrottled.
+	NodeSpeeds []float64
+	// SpeedHints passed to the membership server at join (defaults to
+	// NodeSpeeds scaled, else 1).
+	SpeedHints []float64
+
+	Frontend frontend.Config
+	// Encoder overrides the PPS encoding (zero value = slim test
+	// encoding; use pps.EncoderConfig{} semantics via FullEncoding).
+	Encoder *pps.EncoderConfig
+	// FullEncoding selects the paper-sized encoder (500B metadata).
+	FullEncoding bool
+
+	Seed int64
+}
+
+// Cluster is a running system.
+type Cluster struct {
+	Enc   *pps.Encoder
+	Coord *membership.Coordinator
+	FE    *frontend.Frontend
+
+	nodes   []*node.Node
+	servers []*wire.Server
+	ids     []ring.NodeID
+	rng     *rand.Rand
+}
+
+// SlimEncoderConfig is a small encoding that keeps harness corpora cheap
+// to build while exercising every code path.
+func SlimEncoderConfig() pps.EncoderConfig {
+	return pps.EncoderConfig{
+		MaxKeywords: 4,
+		MaxPathDir:  4,
+		SizePoints:  pps.LinearPoints(0, 1e9, 16),
+		DateDays:    90,
+		DateSpan:    40,
+		RankBuckets: []int{1, 5},
+	}
+}
+
+// Start builds and starts a cluster.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 || opts.P <= 0 {
+		return nil, fmt.Errorf("cluster: need Nodes and P")
+	}
+	if opts.Rings <= 0 {
+		opts.Rings = 1
+	}
+	encCfg := SlimEncoderConfig()
+	if opts.Encoder != nil {
+		encCfg = *opts.Encoder
+	} else if opts.FullEncoding {
+		encCfg = pps.EncoderConfig{}
+	}
+	// The key is fixed: experiments vary topology and load, never key
+	// material, and a shared key lets callers reuse encrypted corpora.
+	enc := pps.NewEncoder(pps.TestKey(1), encCfg)
+
+	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Enc: enc, Coord: coord, rng: rand.New(rand.NewSource(opts.Seed))}
+
+	for i := 0; i < opts.Nodes; i++ {
+		ncfg := node.Config{
+			Params:         enc.ServerParams(),
+			MatchThreads:   opts.MatchThreads,
+			FixedQueryCost: opts.FixedQueryCost,
+		}
+		if opts.NodeSpeeds != nil {
+			ncfg.ObjectsPerSec = opts.NodeSpeeds[i]
+		}
+		n, err := node.New(ncfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := n.Serve("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.servers = append(c.servers, srv)
+		hint := 1.0
+		if opts.SpeedHints != nil {
+			hint = opts.SpeedHints[i]
+		} else if opts.NodeSpeeds != nil {
+			hint = opts.NodeSpeeds[i]
+		}
+		jr, err := coord.Join(context.Background(), srv.Addr(), hint)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.ids = append(c.ids, ring.NodeID(jr.ID))
+	}
+
+	fe := frontend.New(opts.Frontend)
+	c.FE = fe
+	if err := c.SyncView(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SyncView pushes the coordinator's current view to the frontend.
+func (c *Cluster) SyncView() error {
+	return c.FE.ApplyView(c.Coord.View())
+}
+
+// Close tears everything down.
+func (c *Cluster) Close() {
+	if c.FE != nil {
+		c.FE.Close()
+	}
+	if c.Coord != nil {
+		c.Coord.Close()
+	}
+	for _, s := range c.servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// Nodes returns the in-process node handles (for direct inspection).
+func (c *Cluster) Nodes() []*node.Node { return c.nodes }
+
+// NodeIDs returns the membership-assigned ids, index-aligned with
+// Nodes().
+func (c *Cluster) NodeIDs() []ring.NodeID { return append([]ring.NodeID(nil), c.ids...) }
+
+// GenerateCorpus builds and loads n synthetic documents; returns the
+// plaintext docs for verification.
+func (c *Cluster) GenerateCorpus(n int) ([]pps.Document, error) {
+	corpus := workload.NewCorpus(2000, 7)
+	files := corpus.Generate(n)
+	docs := make([]pps.Document, n)
+	recs := make([]pps.Encoded, n)
+	for i, f := range files {
+		docs[i] = pps.Document{
+			ID:       c.rng.Uint64(),
+			Path:     f.Path,
+			Size:     f.Size,
+			Modified: f.Modified,
+			Keywords: limitKeywords(f.Keywords, 4),
+		}
+		r, err := c.Enc.EncryptDocument(docs[i])
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = r
+	}
+	if err := c.Coord.LoadCorpus(context.Background(), recs); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+func limitKeywords(kws []string, max int) []string {
+	if len(kws) <= max {
+		return kws
+	}
+	return kws[:max]
+}
+
+// LoadEncoded loads pre-encrypted records.
+func (c *Cluster) LoadEncoded(recs []pps.Encoded) error {
+	return c.Coord.LoadCorpus(context.Background(), recs)
+}
+
+// Query executes a query against the cluster.
+func (c *Cluster) Query(ctx context.Context, op pps.BoolOp, preds ...pps.Predicate) (frontend.Result, error) {
+	q, err := c.Enc.EncryptQuery(op, preds...)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	return c.FE.Execute(ctx, q)
+}
+
+// KillNode crashes node i: its server stops accepting and all its
+// connections drop. The membership layer is NOT informed — the frontend
+// must discover the failure through timeouts, exactly as in Fig 7.6.
+func (c *Cluster) KillNode(i int) error {
+	if i < 0 || i >= len(c.servers) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	return c.servers[i].Close()
+}
+
+// RecoverFailure tells the membership layer to redistribute a failed
+// node's range (the long-term path of §4.9).
+func (c *Cluster) RecoverFailure(ctx context.Context, i int) error {
+	if err := c.Coord.HandleFailure(ctx, c.ids[i]); err != nil {
+		return err
+	}
+	return c.SyncView()
+}
+
+// NodeStats polls every live node's counters.
+func (c *Cluster) NodeStats(ctx context.Context) []proto.StatsResp {
+	out := make([]proto.StatsResp, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Stats()
+	}
+	return out
+}
+
+// WaitSettled gives in-flight background work a moment; used by tests
+// after reconfigurations.
+func (c *Cluster) WaitSettled() { time.Sleep(20 * time.Millisecond) }

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roar/internal/ring"
+)
+
+// uniformEst models identical servers: finish time proportional to
+// sub-query size.
+var uniformEst = EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+	return size
+})
+
+// speedEst builds an estimator from a speed table: finish = size/speed.
+func speedEst(speeds map[ring.NodeID]float64) Estimator {
+	return EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+		s, ok := speeds[id]
+		if !ok || s <= 0 {
+			return math.Inf(1)
+		}
+		return size / s
+	})
+}
+
+func mustPlacement(t testing.TB, p int, rings ...*ring.Ring) *Placement {
+	t.Helper()
+	pl, err := NewPlacement(p, rings...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// randomRing builds a ring with n nodes at random positions, ids offset
+// to keep multi-ring ids unique.
+func randomRing(n int, idBase ring.NodeID, rng *rand.Rand) *ring.Ring {
+	r := ring.New()
+	id := idBase
+	for r.Len() < n {
+		if err := r.Insert(id, ring.Norm(rng.Float64())); err == nil {
+			id++
+		}
+	}
+	return r
+}
+
+func TestNewPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(0, ring.NewEqual(4)); err == nil {
+		t.Error("p=0 should be rejected")
+	}
+	if _, err := NewPlacement(2); err == nil {
+		t.Error("no rings should be rejected")
+	}
+	// Duplicate ids across rings rejected.
+	if _, err := NewPlacement(2, ring.NewEqual(4), ring.NewEqual(4)); err == nil {
+		t.Error("duplicate node ids across rings should be rejected")
+	}
+}
+
+func TestHoldersCount(t *testing.T) {
+	// n=12, p=4 => r=3 (the running example of Figs 3.1/4.1).
+	pl := mustPlacement(t, 4, ring.NewEqual(12))
+	rng := rand.New(rand.NewSource(1))
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += len(pl.Holders(ring.Norm(rng.Float64())))
+	}
+	avg := float64(total) / trials
+	// Replication arc 1/4 intersects 3 or 4 equal ranges of width 1/12:
+	// average must sit near r+1=4 (an arc of length 1/p crosses on
+	// average n/p boundaries, touching n/p + 1 ranges).
+	if avg < 3.5 || avg > 4.5 {
+		t.Errorf("average holders = %v, want ≈4", avg)
+	}
+	if pl.ExpectedReplicas() != 3 {
+		t.Errorf("ExpectedReplicas = %v, want 3", pl.ExpectedReplicas())
+	}
+}
+
+func TestStoresMatchesHolders(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pl := mustPlacement(t, 5, randomRing(20, 0, rng))
+	for i := 0; i < 500; i++ {
+		obj := ring.Norm(rng.Float64())
+		holders := map[ring.NodeID]bool{}
+		for _, h := range pl.Holders(obj) {
+			holders[h] = true
+		}
+		for _, id := range pl.rings[0].IDs() {
+			if got := pl.Stores(id, obj); got != holders[id] {
+				t.Fatalf("Stores(%d, %v) = %v but holders=%v", id, obj, got, holders[id])
+			}
+		}
+	}
+}
+
+// checkPlan asserts the two fundamental plan invariants: the match arcs
+// tile the object id space exactly once, and every sub-query's node
+// stores every object in its arc.
+func checkPlan(t *testing.T, pl *Placement, plan Plan, rng *rand.Rand) {
+	t.Helper()
+	// Tiling: sample random object ids; each matched by exactly one sub.
+	for i := 0; i < 300; i++ {
+		obj := ring.Norm(rng.Float64())
+		matches := 0
+		for _, s := range plan.Subs {
+			if s.Matches(obj) {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Fatalf("object %v matched by %d sub-queries, want 1 (plan start %v pq %d)",
+				obj, matches, plan.Start, plan.PQ)
+		}
+	}
+	// Validity: nodes can serve their arcs.
+	for i, s := range plan.Subs {
+		if !pl.CanServe(s.Node, s.Lo, s.Hi) {
+			t.Fatalf("sub %d: node %d cannot serve (%v,%v]", i, s.Node, s.Lo, s.Hi)
+		}
+	}
+}
+
+func TestScheduleBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pl := mustPlacement(t, 4, ring.NewEqual(12))
+	plan, err := pl.Schedule(4, uniformEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subs) != 4 {
+		t.Fatalf("got %d sub-queries, want 4", len(plan.Subs))
+	}
+	checkPlan(t, pl, plan, rng)
+	if math.Abs(plan.Delay-0.25) > 1e-9 {
+		t.Errorf("uniform delay = %v, want 0.25", plan.Delay)
+	}
+}
+
+func TestSchedulePqGreaterThanP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pl := mustPlacement(t, 3, randomRing(12, 0, rng))
+	for _, pq := range []int{3, 4, 6, 12} {
+		plan, err := pl.Schedule(pq, uniformEst)
+		if err != nil {
+			t.Fatalf("pq=%d: %v", pq, err)
+		}
+		if len(plan.Subs) != pq {
+			t.Fatalf("pq=%d: got %d subs", pq, len(plan.Subs))
+		}
+		checkPlan(t, pl, plan, rng)
+	}
+	if _, err := pl.Schedule(2, uniformEst); err == nil {
+		t.Error("pq < p must be rejected")
+	}
+}
+
+func TestSchedulePicksFastServers(t *testing.T) {
+	// Two nodes, p=1: the query goes entirely to one node; the scheduler
+	// must pick the faster one.
+	r := ring.New()
+	_ = r.Insert(0, 0)
+	_ = r.Insert(1, 0.5)
+	pl := mustPlacement(t, 1, r)
+	est := speedEst(map[ring.NodeID]float64{0: 1, 1: 10})
+	plan, err := pl.Schedule(1, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Subs[0].Node != 1 {
+		t.Errorf("scheduler picked node %d, want the 10x faster node 1", plan.Subs[0].Node)
+	}
+}
+
+func TestScheduleMatchesStrawman(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(30)
+		p := 1 + rng.Intn(n/2)
+		pl := mustPlacement(t, p, randomRing(n, 0, rng))
+		speeds := map[ring.NodeID]float64{}
+		for _, id := range pl.rings[0].IDs() {
+			speeds[id] = 0.5 + rng.Float64()*10
+		}
+		est := speedEst(speeds)
+		fast, err := pl.Schedule(p, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := pl.ScheduleStrawman(p, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.Delay-slow.Delay) > 1e-9*math.Max(1, slow.Delay) {
+			t.Fatalf("trial %d (n=%d p=%d): Algorithm 1 delay %v != strawman %v",
+				trial, n, p, fast.Delay, slow.Delay)
+		}
+	}
+}
+
+func TestScheduleRandomNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pl := mustPlacement(t, 4, randomRing(20, 0, rng))
+	speeds := map[ring.NodeID]float64{}
+	for _, id := range pl.rings[0].IDs() {
+		speeds[id] = 0.5 + rng.Float64()*10
+	}
+	est := speedEst(speeds)
+	opt, _ := pl.Schedule(4, est)
+	for _, tries := range []int{1, 4, 16} {
+		rp, err := pl.ScheduleRandom(4, tries, est, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Delay < opt.Delay-1e-9 {
+			t.Fatalf("random (%d tries) beat Algorithm 1: %v < %v", tries, rp.Delay, opt.Delay)
+		}
+	}
+}
+
+func TestScheduleMultiRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r1 := randomRing(10, 0, rng)
+	r2 := randomRing(10, 100, rng)
+	pl := mustPlacement(t, 4, r1, r2)
+	speeds := map[ring.NodeID]float64{}
+	for _, id := range append(r1.IDs(), r2.IDs()...) {
+		speeds[id] = 0.5 + rng.Float64()*5
+	}
+	est := speedEst(speeds)
+	plan, err := pl.Schedule(4, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, pl, plan, rng)
+	// Two-ring delay must be no worse than either single ring alone.
+	pl1 := mustPlacement(t, 4, r1)
+	p1, _ := pl1.Schedule(4, est)
+	if plan.Delay > p1.Delay+1e-9 {
+		t.Errorf("two-ring delay %v worse than ring-1 alone %v", plan.Delay, p1.Delay)
+	}
+	// And it must match the strawman on the same placement.
+	slow, _ := pl.ScheduleStrawman(4, est)
+	if math.Abs(plan.Delay-slow.Delay) > 1e-9 {
+		t.Errorf("multi-ring Algorithm 1 %v != strawman %v", plan.Delay, slow.Delay)
+	}
+}
+
+func TestCanServe(t *testing.T) {
+	pl := mustPlacement(t, 4, ring.NewEqual(8)) // ranges of 1/8, repl 1/4
+	// Node 2 owns [0.25, 0.375): it stores objects in (0, 0.375).
+	if !pl.CanServe(2, 0.05, 0.3) {
+		t.Error("node 2 should serve (0.05, 0.3]")
+	}
+	if pl.CanServe(2, 0.05, 0.4) {
+		t.Error("node 2 must not serve past its range end")
+	}
+	if pl.CanServe(2, 0.95, 0.2) {
+		t.Error("node 2 must not serve ids at/before its stored-set start")
+	}
+	if !pl.CanServe(2, 0.01, 0.25) {
+		t.Error("node 2 stores objects straddling its range start")
+	}
+	// An arc wider than 1/p is fine while it fits the stored set
+	// (range + 1/p = 0.375 here)...
+	if !pl.CanServe(2, 0.01, 0.3) {
+		t.Error("arc wider than 1/p but inside the stored set should be servable")
+	}
+	// ...but an arc wider than the stored set is not.
+	if pl.CanServe(2, 0.9, 0.3) {
+		t.Error("arc wider than the stored set must be rejected")
+	}
+	// lo == hi is the full ring (pq = 1): only a node whose stored set
+	// covers everything can serve it.
+	if pl.CanServe(2, 0.1, 0.1) {
+		t.Error("full-ring arc must not be servable by a 1/8-range node at p=4")
+	}
+	pl1 := mustPlacement(t, 1, ring.NewEqual(8))
+	if !pl1.CanServe(2, 0.1, 0.1) {
+		t.Error("at p=1 every node stores everything and serves the full arc")
+	}
+}
+
+func TestCanServeAgainstStores(t *testing.T) {
+	// Property: CanServe(lo,hi) == every sampled object in (lo,hi] is
+	// stored on the node.
+	rng := rand.New(rand.NewSource(8))
+	pl := mustPlacement(t, 6, randomRing(18, 0, rng))
+	for trial := 0; trial < 400; trial++ {
+		id := ring.NodeID(rng.Intn(18))
+		lo := ring.Norm(rng.Float64())
+		size := rng.Float64() / 6 // up to 1/p
+		hi := lo.Add(size)
+		can := pl.CanServe(id, lo, hi)
+		allStored := true
+		for k := 1; k <= 40; k++ {
+			obj := lo.Add(size * float64(k) / 41)
+			if !pl.Stores(id, obj) {
+				allStored = false
+				break
+			}
+		}
+		if can && !allStored {
+			t.Fatalf("CanServe true but object not stored (node %d, arc (%v,%v])", id, lo, hi)
+		}
+		// The converse can disagree within one sampling step of the
+		// stored-set boundary; shrink the arc by the sampling resolution
+		// before flagging a real inconsistency.
+		if !can && allStored {
+			step := size / 41
+			if !pl.CanServe(id, lo.Add(step), hi.Add(-step)) {
+				t.Fatalf("CanServe false but all interior objects stored (node %d, arc (%v,%v])", id, lo, hi)
+			}
+		}
+	}
+}
+
+func TestAdjustRangesImprovesDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	improved := 0
+	for trial := 0; trial < 30; trial++ {
+		n := 12 + rng.Intn(12)
+		p := 6 // low replication: r=2-4, where §4.8.2 says adjustment helps
+		pl := mustPlacement(t, p, randomRing(n, 0, rng))
+		speeds := map[ring.NodeID]float64{}
+		for _, id := range pl.rings[0].IDs() {
+			speeds[id] = 0.5 + rng.Float64()*4
+		}
+		est := speedEst(speeds)
+		plan, err := pl.Schedule(p, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := pl.AdjustRanges(plan, est, 8)
+		if adj.Delay > plan.Delay+1e-9 {
+			t.Fatalf("adjustment worsened delay: %v -> %v", plan.Delay, adj.Delay)
+		}
+		if adj.Delay < plan.Delay-1e-9 {
+			improved++
+		}
+		checkPlan(t, pl, adj, rng)
+		if len(adj.Subs) != len(plan.Subs) {
+			t.Fatal("range adjustment must not change the sub-query count")
+		}
+	}
+	if improved == 0 {
+		t.Error("range adjustment never improved any trial; expected it to help at low r")
+	}
+}
+
+func TestSplitSlowestImprovesDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// With p = n every node (including the straggler) must serve a
+	// sub-query; splitting the straggler's slice across its faster
+	// replica neighbours is the only way to shed its load.
+	pl := mustPlacement(t, 12, ring.NewEqual(12))
+	speeds := map[ring.NodeID]float64{}
+	for _, id := range pl.rings[0].IDs() {
+		speeds[id] = 4
+	}
+	speeds[0] = 0.25 // the straggler
+	est := speedEst(speeds)
+	plan, err := pl.Schedule(12, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := pl.SplitSlowest(plan, est, 4)
+	if split.Delay >= plan.Delay {
+		t.Errorf("splitting did not improve: %v -> %v", plan.Delay, split.Delay)
+	}
+	checkPlan(t, pl, split, rng)
+	if len(split.Subs) <= len(plan.Subs) {
+		t.Error("splitting should add sub-queries")
+	}
+}
+
+func TestSplitRespectsMaxSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pl := mustPlacement(t, 3, randomRing(12, 0, rng))
+	plan, _ := pl.Schedule(3, uniformEst)
+	split := pl.SplitSlowest(plan, uniformEst, 0)
+	if len(split.Subs) != len(plan.Subs) {
+		t.Error("maxSplits=0 must be a no-op")
+	}
+}
+
+func TestRepairPlanCoversFailedNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		n := 15 + rng.Intn(20)
+		p := 3 + rng.Intn(3)
+		pl := mustPlacement(t, p, randomRing(n, 0, rng))
+		plan, err := pl.Schedule(p, uniformEst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fail the node serving the first sub-query.
+		failedID := plan.Subs[0].Node
+		failed := map[ring.NodeID]bool{failedID: true}
+		repaired, err := pl.RepairPlan(plan, failed, uniformEst, rng)
+		if err != nil {
+			// A node with a huge range cannot be bracketed; only accept
+			// that explanation.
+			arc, _, _ := pl.NodeRange(failedID)
+			if arc.Length < (1/float64(p))*0.9 {
+				t.Fatalf("trial %d: unexpected repair failure: %v", trial, err)
+			}
+			continue
+		}
+		if len(repaired.Subs) != len(plan.Subs)+1 {
+			t.Fatalf("repair should add exactly one sub-query: %d -> %d", len(plan.Subs), len(repaired.Subs))
+		}
+		// No sub-query may touch the failed node.
+		for _, s := range repaired.Subs {
+			if s.Node == failedID {
+				t.Fatal("repaired plan still targets the failed node")
+			}
+		}
+		// Coverage: every object in the failed sub-query's arc is stored
+		// on at least one replacement node that will match it.
+		orig := plan.Subs[0]
+		var reps []SubQuery
+		for _, s := range repaired.Subs {
+			if s.Lo == orig.Lo && s.Hi == orig.Hi && s.Node != orig.Node {
+				reps = append(reps, s)
+			}
+		}
+		if len(reps) != 2 {
+			t.Fatalf("want 2 replacement subs, got %d", len(reps))
+		}
+		for k := 0; k < 200; k++ {
+			obj := orig.Lo.Add(orig.Size() * (float64(k) + 0.5) / 200)
+			if !orig.Matches(obj) {
+				continue
+			}
+			if !pl.Stores(reps[0].Node, obj) && !pl.Stores(reps[1].Node, obj) {
+				t.Fatalf("object %v in failed arc stored on neither replacement (nodes %d,%d)",
+					obj, reps[0].Node, reps[1].Node)
+			}
+		}
+	}
+}
+
+func TestRepairPlanMultipleFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pl := mustPlacement(t, 4, randomRing(40, 0, rng))
+	plan, _ := pl.Schedule(4, uniformEst)
+	failed := map[ring.NodeID]bool{}
+	for _, s := range plan.Subs[:2] {
+		failed[s.Node] = true
+	}
+	repaired, err := pl.RepairPlan(plan, failed, uniformEst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range repaired.Subs {
+		if failed[s.Node] {
+			t.Fatal("repaired plan targets a failed node")
+		}
+	}
+}
+
+func TestSafePQ(t *testing.T) {
+	// Increasing p: switch immediately.
+	if got := SafePQ(5, 10, false); got != 10 {
+		t.Errorf("SafePQ(5->10, unconfirmed) = %d, want 10", got)
+	}
+	// Decreasing p: stay on old until confirmed.
+	if got := SafePQ(10, 5, false); got != 10 {
+		t.Errorf("SafePQ(10->5, unconfirmed) = %d, want 10", got)
+	}
+	if got := SafePQ(10, 5, true); got != 5 {
+		t.Errorf("SafePQ(10->5, confirmed) = %d, want 5", got)
+	}
+}
+
+func TestStoredSet(t *testing.T) {
+	pl := mustPlacement(t, 4, ring.NewEqual(8))
+	arc, err := pl.StoredSet(2) // node 2 owns [0.25, 0.375)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(arc.Start)-0.0) > 1e-9 || math.Abs(arc.Length-0.375) > 1e-9 {
+		t.Errorf("StoredSet(2) = %v, want [0, 0.375)", arc)
+	}
+	// With p=1 every node stores everything.
+	pl1 := mustPlacement(t, 1, ring.NewEqual(8))
+	arc, _ = pl1.StoredSet(2)
+	if !arc.IsFull() {
+		t.Errorf("p=1 stored set should be full, got %v", arc)
+	}
+}
+
+func BenchmarkScheduleAlg1(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		rng := rand.New(rand.NewSource(1))
+		pl, _ := NewPlacement(n/10, randomRing(n, 0, rng))
+		speeds := map[ring.NodeID]float64{}
+		for _, id := range pl.rings[0].IDs() {
+			speeds[id] = 0.5 + rng.Float64()*10
+		}
+		est := speedEst(speeds)
+		b.Run(fmtInt("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Schedule(n/10, est); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleStrawman(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		rng := rand.New(rand.NewSource(1))
+		pl, _ := NewPlacement(n/10, randomRing(n, 0, rng))
+		speeds := map[ring.NodeID]float64{}
+		for _, id := range pl.rings[0].IDs() {
+			speeds[id] = 0.5 + rng.Float64()*10
+		}
+		est := speedEst(speeds)
+		b.Run(fmtInt("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.ScheduleStrawman(n/10, est); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fmtInt(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

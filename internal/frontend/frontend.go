@@ -1,0 +1,455 @@
+// Package frontend implements the ROAR front-end server (§4.8): it
+// receives client queries, splits them into sub-queries with the
+// Algorithm 1 scheduler, dispatches them over TCP, detects node failures
+// through per-sub-query timers, re-dispatches around failures with the
+// §4.4 fallback, merges and deduplicates results, and maintains
+// per-server processing-speed EWMAs from observed completions.
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"roar/internal/core"
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/ring"
+	"roar/internal/stats"
+	"roar/internal/wire"
+)
+
+// Config tunes a frontend.
+type Config struct {
+	// PQ forces the query partitioning level; 0 uses the view's safe p.
+	PQ int
+	// RangeAdjust enables the §4.8.2 boundary-shifting optimisation.
+	RangeAdjust bool
+	// MaxSplits enables slow-sub-query splitting up to this many extra
+	// sub-queries per query.
+	MaxSplits int
+	// SubQueryTimeout is the failure-detection timer (§4.8). Default 5s.
+	SubQueryTimeout time.Duration
+	// SpeedAlpha is the EWMA smoothing for speed estimates. Default 0.1.
+	SpeedAlpha float64
+	// InitialSpeed seeds estimates for unseen nodes, in id-space
+	// fraction per second. Default 1.
+	InitialSpeed float64
+	// Seed for the failure-fallback randomness.
+	Seed int64
+}
+
+// Result is one executed query.
+type Result struct {
+	IDs        []uint64
+	Delay      time.Duration
+	Schedule   time.Duration // plan computation (Fig 7.11 breakdown)
+	Dispatch   time.Duration // network + remote matching
+	Merge      time.Duration // result assembly + dedup
+	SubQueries int           // sub-queries sent (grows on failures)
+	Failures   int           // failed sub-queries recovered
+	Scanned    int           // objects scanned across nodes
+}
+
+// Frontend schedules and executes queries against a node view.
+type Frontend struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	view   proto.View
+	pl     *core.Placement
+	nodes  map[ring.NodeID]*handle
+	failed map[ring.NodeID]bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	statMu    sync.Mutex
+	schedS    *stats.Sample
+	dispatchS *stats.Sample
+	mergeS    *stats.Sample
+	totalS    *stats.Sample
+}
+
+type handle struct {
+	addr   string
+	client *wire.Client
+	speed  *stats.EWMA
+
+	mu          sync.Mutex
+	outstanding float64 // sum of in-flight sub-query sizes
+}
+
+// New builds a frontend with no view; call ApplyView before Execute.
+func New(cfg Config) *Frontend {
+	if cfg.SubQueryTimeout <= 0 {
+		cfg.SubQueryTimeout = 5 * time.Second
+	}
+	if cfg.SpeedAlpha <= 0 {
+		cfg.SpeedAlpha = 0.1
+	}
+	if cfg.InitialSpeed <= 0 {
+		cfg.InitialSpeed = 1
+	}
+	return &Frontend{
+		cfg:       cfg,
+		nodes:     make(map[ring.NodeID]*handle),
+		failed:    make(map[ring.NodeID]bool),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		schedS:    stats.NewSample(0),
+		dispatchS: stats.NewSample(0),
+		mergeS:    stats.NewSample(0),
+		totalS:    stats.NewSample(0),
+	}
+}
+
+// ApplyView installs a membership snapshot: it rebuilds the ring
+// placement and node clients. Speed estimates of retained nodes are
+// preserved; nodes absent from the view are closed and forgotten
+// (§4.8.3: a rejoining backup relearns statistics quickly).
+func (f *Frontend) ApplyView(v proto.View) error {
+	byRing := map[int]*ring.Ring{}
+	maxRing := 0
+	for _, ni := range v.Nodes {
+		if ni.Ring > maxRing {
+			maxRing = ni.Ring
+		}
+	}
+	for k := 0; k <= maxRing; k++ {
+		byRing[k] = ring.New()
+	}
+	for _, ni := range v.Nodes {
+		if err := byRing[ni.Ring].Insert(ring.NodeID(ni.ID), ring.Norm(ni.Start)); err != nil {
+			return fmt.Errorf("frontend: applying view: %w", err)
+		}
+	}
+	rings := make([]*ring.Ring, 0, len(byRing))
+	for k := 0; k <= maxRing; k++ {
+		if byRing[k].Len() > 0 {
+			rings = append(rings, byRing[k])
+		}
+	}
+	if len(rings) == 0 {
+		return fmt.Errorf("frontend: view has no nodes")
+	}
+	pl, err := core.NewPlacement(v.P, rings...)
+	if err != nil {
+		return fmt.Errorf("frontend: applying view: %w", err)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := map[ring.NodeID]bool{}
+	for _, ni := range v.Nodes {
+		id := ring.NodeID(ni.ID)
+		seen[id] = true
+		if h, ok := f.nodes[id]; ok && h.addr == ni.Addr {
+			continue // keep client and speed estimate
+		}
+		if h, ok := f.nodes[id]; ok {
+			h.client.Close()
+		}
+		sp := stats.NewEWMA(f.cfg.SpeedAlpha)
+		sp.Set(f.cfg.InitialSpeed)
+		f.nodes[id] = &handle{addr: ni.Addr, client: wire.NewClient(ni.Addr), speed: sp}
+	}
+	for id, h := range f.nodes {
+		if !seen[id] {
+			h.client.Close()
+			delete(f.nodes, id)
+			delete(f.failed, id)
+		}
+	}
+	f.view = v
+	f.pl = pl
+	return nil
+}
+
+// View returns the installed view.
+func (f *Frontend) View() proto.View {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.view
+}
+
+// Close shuts all node clients.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, h := range f.nodes {
+		h.client.Close()
+	}
+	f.nodes = map[ring.NodeID]*handle{}
+}
+
+// MarkFailed flags a node (tests and membership push-downs).
+func (f *Frontend) MarkFailed(id ring.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failed[id] = true
+}
+
+// FailedNodes returns the currently suspected nodes.
+func (f *Frontend) FailedNodes() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]int, 0, len(f.failed))
+	for id := range f.failed {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SpeedEstimates exports the EWMA speeds for membership reports.
+func (f *Frontend) SpeedEstimates() map[int]float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[int]float64, len(f.nodes))
+	for id, h := range f.nodes {
+		if v, ok := h.speed.Value(); ok {
+			out[int(id)] = v
+		}
+	}
+	return out
+}
+
+// estimator builds the scheduling estimator from EWMAs and in-flight
+// work (§4.8: outstanding queries and their expected finish times).
+func (f *Frontend) estimator() core.Estimator {
+	return core.EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+		f.mu.RLock()
+		h := f.nodes[id]
+		failed := f.failed[id]
+		f.mu.RUnlock()
+		if h == nil || failed {
+			return 1e12 // effectively unschedulable
+		}
+		sp, _ := h.speed.Value()
+		if sp <= 0 {
+			sp = f.cfg.InitialSpeed
+		}
+		h.mu.Lock()
+		out := h.outstanding
+		h.mu.Unlock()
+		return (out + size) / sp
+	})
+}
+
+// Execute runs one encrypted query end to end.
+func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
+	t0 := time.Now()
+	f.mu.RLock()
+	pl := f.pl
+	pq := f.cfg.PQ
+	if pq == 0 || pq < f.view.P {
+		pq = f.view.P
+	}
+	failed := make(map[ring.NodeID]bool, len(f.failed))
+	for id := range f.failed {
+		failed[id] = true
+	}
+	f.mu.RUnlock()
+	if pl == nil {
+		return Result{}, fmt.Errorf("frontend: no view installed")
+	}
+
+	est := f.estimator()
+	plan, err := pl.Schedule(pq, est)
+	if err != nil {
+		return Result{}, fmt.Errorf("frontend: scheduling: %w", err)
+	}
+	if f.cfg.RangeAdjust {
+		plan = pl.AdjustRanges(plan, est, 8)
+	}
+	if f.cfg.MaxSplits > 0 {
+		plan = pl.SplitSlowest(plan, est, f.cfg.MaxSplits)
+	}
+	if len(failed) > 0 {
+		f.rngMu.Lock()
+		plan, err = pl.RepairPlan(plan, failed, est, f.rng)
+		f.rngMu.Unlock()
+		if err != nil {
+			return Result{}, fmt.Errorf("frontend: repairing plan: %w", err)
+		}
+	}
+	schedDur := time.Since(t0)
+
+	// Dispatch all sub-queries in parallel with per-sub timers.
+	t1 := time.Now()
+	res := f.dispatchAll(ctx, pl, est, q, plan.Subs, 0)
+	dispatchDur := time.Since(t1)
+
+	t2 := time.Now()
+	ids := dedup(res.ids)
+	mergeDur := time.Since(t2)
+
+	out := Result{
+		IDs:        ids,
+		Delay:      time.Since(t0),
+		Schedule:   schedDur,
+		Dispatch:   dispatchDur,
+		Merge:      mergeDur,
+		SubQueries: res.sent,
+		Failures:   res.failures,
+		Scanned:    res.scanned,
+	}
+	if res.err != nil {
+		return out, res.err
+	}
+	f.statMu.Lock()
+	f.schedS.Add(schedDur.Seconds())
+	f.dispatchS.Add(dispatchDur.Seconds())
+	f.mergeS.Add(mergeDur.Seconds())
+	f.totalS.Add(out.Delay.Seconds())
+	f.statMu.Unlock()
+	return out, nil
+}
+
+type dispatchResult struct {
+	ids      []uint64
+	sent     int
+	failures int
+	scanned  int
+	err      error
+}
+
+// dispatchAll sends sub-queries concurrently. A failed sub-query is
+// split per §4.4 and re-dispatched (bounded depth to terminate under
+// mass failure).
+func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, q pps.Query, subs []core.SubQuery, depth int) dispatchResult {
+	const maxDepth = 4
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		agg dispatchResult
+	)
+	agg.sent = len(subs)
+	for _, sub := range subs {
+		wg.Add(1)
+		go func(sub core.SubQuery) {
+			defer wg.Done()
+			resp, err := f.sendSub(ctx, q, sub)
+			if err == nil {
+				mu.Lock()
+				agg.ids = append(agg.ids, resp.IDs...)
+				agg.scanned += resp.Scanned
+				mu.Unlock()
+				return
+			}
+			if ctx.Err() != nil {
+				mu.Lock()
+				agg.err = ctx.Err()
+				mu.Unlock()
+				return
+			}
+			// Failure path: mark the node, split the sub-query in two
+			// around the failure (§4.4) and retry.
+			f.mu.Lock()
+			f.failed[sub.Node] = true
+			failedSet := make(map[ring.NodeID]bool, len(f.failed))
+			for id := range f.failed {
+				failedSet[id] = true
+			}
+			f.mu.Unlock()
+			mu.Lock()
+			agg.failures++
+			mu.Unlock()
+			if depth >= maxDepth {
+				mu.Lock()
+				agg.err = fmt.Errorf("frontend: sub-query (%v,%v] failed beyond retry depth: %w", sub.Lo, sub.Hi, err)
+				mu.Unlock()
+				return
+			}
+			f.rngMu.Lock()
+			repaired, rerr := pl.RepairPlan(core.Plan{Subs: []core.SubQuery{sub}}, failedSet, est, f.rng)
+			f.rngMu.Unlock()
+			if rerr != nil {
+				mu.Lock()
+				agg.err = fmt.Errorf("frontend: cannot re-place failed sub-query: %w", rerr)
+				mu.Unlock()
+				return
+			}
+			child := f.dispatchAll(ctx, pl, est, q, repaired.Subs, depth+1)
+			mu.Lock()
+			agg.ids = append(agg.ids, child.ids...)
+			agg.sent += child.sent
+			agg.failures += child.failures
+			agg.scanned += child.scanned
+			if child.err != nil && agg.err == nil {
+				agg.err = child.err
+			}
+			mu.Unlock()
+		}(sub)
+	}
+	wg.Wait()
+	return agg
+}
+
+// sendSub executes one sub-query with its timer.
+func (f *Frontend) sendSub(ctx context.Context, q pps.Query, sub core.SubQuery) (proto.QueryResp, error) {
+	f.mu.RLock()
+	h := f.nodes[sub.Node]
+	f.mu.RUnlock()
+	if h == nil {
+		return proto.QueryResp{}, fmt.Errorf("frontend: no handle for node %d", sub.Node)
+	}
+	size := sub.Size()
+	h.mu.Lock()
+	h.outstanding += size
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.outstanding -= size
+		h.mu.Unlock()
+	}()
+
+	cctx, cancel := context.WithTimeout(ctx, f.cfg.SubQueryTimeout)
+	defer cancel()
+	req := proto.QueryReq{Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
+	start := time.Now()
+	var resp proto.QueryResp
+	if err := h.client.Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
+		return proto.QueryResp{}, err
+	}
+	// Update the speed estimate: observed fraction/second.
+	if d := time.Since(start).Seconds(); d > 0 && size > 0 {
+		h.speed.Observe(size / d)
+	}
+	return resp, nil
+}
+
+func dedup(ids []uint64) []uint64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Breakdown reports the accumulated per-phase delay means in seconds
+// (Fig 7.11).
+type Breakdown struct {
+	Schedule, Dispatch, Merge, Total stats.Summary
+}
+
+// DelayBreakdown returns the phase summaries.
+func (f *Frontend) DelayBreakdown() Breakdown {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return Breakdown{
+		Schedule: f.schedS.Summarize(),
+		Dispatch: f.dispatchS.Summarize(),
+		Merge:    f.mergeS.Summarize(),
+		Total:    f.totalS.Summarize(),
+	}
+}

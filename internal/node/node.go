@@ -1,0 +1,159 @@
+// Package node implements a ROAR data server: it stores encrypted
+// metadata replicas for its ring range and matches sub-queries against
+// them with the §5.6.3 producer/consumer pipeline. A node is oblivious
+// to the rest of the ring — it just serves the arc it is told to serve —
+// which is what makes ROAR reconfiguration local and cheap.
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/ring"
+	"roar/internal/store"
+	"roar/internal/wire"
+)
+
+// Config parameterises a node.
+type Config struct {
+	// Params are the public PPS matching parameters (no key material).
+	Params pps.ServerParams
+	// MatchThreads is the matching-thread count (§5.6.3; 0 = 1).
+	MatchThreads int
+	// ObjectsPerSec, when positive, throttles matching to emulate a
+	// calibrated hardware profile (Table 7.1); 0 matches at full speed.
+	ObjectsPerSec float64
+	// BatchSize for the matching pipeline (0 = 256).
+	BatchSize int
+	// FixedQueryCost adds a constant per-sub-query cost (thread start,
+	// request parsing — the fixed overheads of §2 that do not depend on
+	// data size and cap throughput as p grows). Zero disables it.
+	FixedQueryCost time.Duration
+}
+
+// Node is one data server. Create with New, expose with Serve.
+type Node struct {
+	cfg     Config
+	matcher *pps.Matcher
+	store   *store.Store
+
+	queries   atomic.Int64
+	scanned   atomic.Int64
+	busyNanos atomic.Int64
+	started   time.Time
+}
+
+// New builds a node.
+func New(cfg Config) (*Node, error) {
+	m, err := pps.NewMatcher(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	if cfg.MatchThreads <= 0 {
+		cfg.MatchThreads = 1
+	}
+	return &Node{cfg: cfg, matcher: m, store: store.New(), started: time.Now()}, nil
+}
+
+// Store exposes the underlying record store (tests and in-process
+// harnesses load data directly through it).
+func (n *Node) Store() *store.Store { return n.store }
+
+// Query matches the encrypted query against stored objects in (lo, hi].
+func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, error) {
+	start := time.Now()
+	if n.cfg.FixedQueryCost > 0 {
+		time.Sleep(n.cfg.FixedQueryCost)
+	}
+	opts := store.MatchOptions{Threads: n.cfg.MatchThreads, BatchSize: n.cfg.BatchSize}
+	if n.cfg.ObjectsPerSec > 0 {
+		perSec := n.cfg.ObjectsPerSec
+		opts.Limiter = func(k int) {
+			time.Sleep(time.Duration(float64(k) / perSec * float64(time.Second)))
+		}
+	}
+	ids, scanned, err := n.store.MatchArc(ctx, n.matcher, req.Q, ring.Norm(req.Lo), ring.Norm(req.Hi), opts)
+	if err != nil {
+		return proto.QueryResp{}, err
+	}
+	el := time.Since(start)
+	n.queries.Add(1)
+	n.scanned.Add(int64(scanned))
+	n.busyNanos.Add(int64(el))
+	return proto.QueryResp{IDs: ids, Scanned: scanned, MatchNanos: int64(el)}, nil
+}
+
+// Put stores replica records.
+func (n *Node) Put(req proto.PutReq) proto.PutResp {
+	n.store.Insert(req.Records...)
+	return proto.PutResp{Stored: len(req.Records), Total: n.store.Len()}
+}
+
+// Delete removes records.
+func (n *Node) Delete(req proto.DeleteReq) {
+	n.store.Delete(req.IDs...)
+}
+
+// Retain applies a range/p change, dropping records outside the new
+// stored set (§4.5).
+func (n *Node) Retain(req proto.RetainReq) proto.RetainResp {
+	dropped := n.store.RetainStored(ring.NewArc(ring.Norm(req.Start), req.Length), req.P)
+	return proto.RetainResp{Dropped: dropped, Remaining: n.store.Len()}
+}
+
+// Stats reports counters.
+func (n *Node) Stats() proto.StatsResp {
+	return proto.StatsResp{
+		Objects:    n.store.Len(),
+		Queries:    n.queries.Load(),
+		Scanned:    n.scanned.Load(),
+		BusyNanos:  n.busyNanos.Load(),
+		UptimeSecs: time.Since(n.started).Seconds(),
+	}
+}
+
+// Serve exposes the node over TCP on addr ("127.0.0.1:0" for ephemeral).
+func (n *Node) Serve(addr string) (*wire.Server, error) {
+	d := wire.NewDispatcher()
+	d.Register(proto.MNodeQuery, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.QueryReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("node: bad query request: %w", err)
+		}
+		return n.Query(ctx, req)
+	})
+	d.Register(proto.MNodePut, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.PutReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("node: bad put request: %w", err)
+		}
+		return n.Put(req), nil
+	})
+	d.Register(proto.MNodeDelete, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.DeleteReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("node: bad delete request: %w", err)
+		}
+		n.Delete(req)
+		return struct{}{}, nil
+	})
+	d.Register(proto.MNodeRetain, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req proto.RetainReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("node: bad retain request: %w", err)
+		}
+		return n.Retain(req), nil
+	})
+	d.Register(proto.MNodeStats, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+		return n.Stats(), nil
+	})
+	d.Register(proto.MNodePing, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+		return struct{}{}, nil
+	})
+	return wire.Serve(addr, d.Handle)
+}

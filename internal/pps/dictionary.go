@@ -1,0 +1,130 @@
+package pps
+
+import (
+	"fmt"
+)
+
+// Dictionary implements Chang & Mitzenmacher's scheme (§5.5.2,
+// "Dictionary Keyword Matching"): a fixed dictionary of all possible
+// words, one bit per word. The index bitmap is shuffled by a
+// pseudorandom permutation and blinded per-document:
+//
+//	J[i] = I[i] XOR G_{F_K2(i)}(nonce)
+//
+// The query for word λ is (index = E_K1(λ), rindex = F_K2(index)); the
+// server unblinds exactly the queried bit. No false positives, but the
+// metadata is as large as the dictionary and the dictionary must be
+// fixed up front (§5.5.2 discusses this trade-off).
+type Dictionary struct {
+	words map[string]int // plaintext word -> dictionary index
+	perm  []int          // PRP over indices (E_K1)
+	k2    []byte
+}
+
+// NewDictionary builds the scheme over the given fixed word list.
+func NewDictionary(k MasterKey, words []string) (*Dictionary, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("pps: empty dictionary")
+	}
+	idx := make(map[string]int, len(words))
+	for i, w := range words {
+		if _, dup := idx[w]; dup {
+			return nil, fmt.Errorf("pps: duplicate dictionary word %q", w)
+		}
+		idx[w] = i
+	}
+	return &Dictionary{
+		words: idx,
+		perm:  permutation(k.Derive("dict-k1"), len(words)),
+		k2:    k.Derive("dict-k2"),
+	}, nil
+}
+
+// Size returns the dictionary size |D| (bits per metadata).
+func (s *Dictionary) Size() int { return len(s.perm) }
+
+// DictQuery is an encrypted keyword query.
+type DictQuery struct {
+	Index  int    // E_K1(λ): permuted dictionary position
+	RIndex []byte // F_K2(Index): the per-position blinding key
+}
+
+// DictMetadata is a blinded dictionary bitmap plus nonce.
+type DictMetadata struct {
+	Nonce  []byte
+	Bitmap []byte // |D| bits
+}
+
+// Bytes returns the wire size, used for overhead accounting (§5.5.2
+// notes ~32kB for an English dictionary).
+func (m DictMetadata) Bytes() int { return len(m.Nonce) + len(m.Bitmap) }
+
+// ErrUnknownWord is returned when querying a word outside the dictionary.
+var ErrUnknownWord = fmt.Errorf("pps: word not in dictionary")
+
+// EncryptQuery produces the encrypted query for one word.
+func (s *Dictionary) EncryptQuery(word string) (DictQuery, error) {
+	lambda, ok := s.words[word]
+	if !ok {
+		return DictQuery{}, fmt.Errorf("%w: %q", ErrUnknownWord, word)
+	}
+	index := s.perm[lambda]
+	return DictQuery{Index: index, RIndex: s.blindKey(index)}, nil
+}
+
+func (s *Dictionary) blindKey(index int) []byte {
+	return prf(s.k2, []byte(fmt.Sprintf("pos-%d", index)))
+}
+
+// EncryptMetadata encodes the set of words present in a document.
+// Unknown words are an error: the dictionary is fixed at key-generation
+// time and silent omission would produce false negatives forever.
+func (s *Dictionary) EncryptMetadata(wordsPresent []string) (DictMetadata, error) {
+	rnd, err := nonce()
+	if err != nil {
+		return DictMetadata{}, err
+	}
+	n := len(s.perm)
+	bitmap := make([]byte, (n+7)/8)
+	// I[perm[λ]] = 1 for each present word, then blind every position.
+	present := make([]bool, n)
+	for _, w := range wordsPresent {
+		lambda, ok := s.words[w]
+		if !ok {
+			return DictMetadata{}, fmt.Errorf("%w: %q", ErrUnknownWord, w)
+		}
+		present[s.perm[lambda]] = true
+	}
+	for i := 0; i < n; i++ {
+		bit := present[i]
+		if blindBit(s.blindKey(i), rnd) {
+			bit = !bit
+		}
+		if bit {
+			setBit(bitmap, i)
+		}
+	}
+	return DictMetadata{Nonce: rnd, Bitmap: bitmap}, nil
+}
+
+// blindBit is G_{r_i}(nonce): one pseudorandom bit per (position, nonce).
+// It needs no key material, only the per-position blinding key.
+func blindBit(rindex, rnd []byte) bool {
+	return prf(rindex, rnd)[0]&1 == 1
+}
+
+// MatchDict runs on the server with no key material: it unblinds exactly
+// the queried position. A single PRF application per match, which is why
+// §5.5.2 reports Dictionary matching "a few times faster" than Bloom.
+func MatchDict(q DictQuery, m DictMetadata) bool {
+	bit := getBit(m.Bitmap, q.Index)
+	if blindBit(q.RIndex, m.Nonce) {
+		bit = !bit
+	}
+	return bit
+}
+
+// CoverDict reports query coverage (equality for keyword queries).
+func CoverDict(q1, q2 DictQuery) bool {
+	return q1.Index == q2.Index && string(q1.RIndex) == string(q2.RIndex)
+}

@@ -1,0 +1,60 @@
+package pps
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Equal implements the equality-matching scheme of §5.5.1 (the first
+// step of Song et al.): the query is the PRF of the plaintext under the
+// user key; the metadata is a random nonce together with the PRF of the
+// nonce under the hidden value. The server matches by recomputing.
+type Equal struct {
+	key []byte
+}
+
+// NewEqual builds the scheme from the master key.
+func NewEqual(k MasterKey) *Equal {
+	return &Equal{key: k.Derive("equal")}
+}
+
+// EqualQuery is an encrypted equality query (the hidden value).
+type EqualQuery struct {
+	Hidden []byte
+}
+
+// EqualMetadata is an encrypted value: (nonce, PRF_hidden(nonce)).
+type EqualMetadata struct {
+	Nonce []byte
+	Tag   []byte
+}
+
+// EncryptQuery hides a plaintext value.
+func (s *Equal) EncryptQuery(value string) EqualQuery {
+	return EqualQuery{Hidden: prf(s.key, []byte(value))}
+}
+
+// EncryptMetadata encodes a value so that only matching queries
+// recognise it.
+func (s *Equal) EncryptMetadata(value string) (EqualMetadata, error) {
+	rnd, err := nonce()
+	if err != nil {
+		return EqualMetadata{}, err
+	}
+	h := prf(s.key, []byte(value))
+	return EqualMetadata{Nonce: rnd, Tag: prf(h, rnd)}, nil
+}
+
+// MatchEqual runs on the server: it needs no key material. It reports
+// whether the encrypted query matches the encrypted metadata.
+func MatchEqual(q EqualQuery, m EqualMetadata) bool {
+	return bytes.Equal(prf(q.Hidden, m.Nonce), m.Tag)
+}
+
+// CoverEqual reports whether q1 covers q2; for equality queries this is
+// exact bitwise equality (§5.5.1).
+func CoverEqual(q1, q2 EqualQuery) bool {
+	return bytes.Equal(q1.Hidden, q2.Hidden)
+}
+
+func (q EqualQuery) String() string { return fmt.Sprintf("EqualQuery(%x…)", q.Hidden[:4]) }

@@ -1,0 +1,44 @@
+package pps
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestEncodedRoundTripQuick: any (id, nonce, filter) triple survives
+// binary marshalling.
+func TestEncodedRoundTripQuick(t *testing.T) {
+	f := func(id uint64, nonce, filter []byte) bool {
+		if len(nonce) > 65535 {
+			nonce = nonce[:65535]
+		}
+		in := Encoded{ID: id, BloomMetadata: BloomMetadata{Nonce: nonce, Filter: filter}}
+		b, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Encoded
+		if err := out.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return out.ID == in.ID &&
+			bytes.Equal(out.Nonce, in.Nonce) && bytes.Equal(out.Filter, in.Filter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalNeverPanics: arbitrary bytes must produce an error or a
+// record, never a panic (the store feeds disk bytes straight in).
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		var e Encoded
+		_ = e.UnmarshalBinary(raw) // outcome irrelevant; must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

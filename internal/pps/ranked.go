@@ -1,0 +1,73 @@
+package pps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ranked implements the ranked-query construction of §5.5.4: keywords
+// are ranked by importance within each document, the rank space is
+// partitioned into buckets (first, first 5, first 10, first 25, ...),
+// and a document emits the word "topK|keyword" for every bucket K the
+// keyword's rank falls within. A query "keyword within top K" is then
+// ordinary keyword matching.
+type Ranked struct {
+	bloom   *Bloom
+	buckets []int // sorted rank cut-offs, e.g. 1, 5, 10, 25
+}
+
+// DefaultRankBuckets mirrors §5.5.4: first, first five, first ten,
+// first twenty-five.
+func DefaultRankBuckets() []int { return []int{1, 5, 10, 25} }
+
+// NewRanked builds the scheme. maxKeywords sizes the underlying filter:
+// each keyword contributes one plain word plus one word per bucket its
+// rank falls in.
+func NewRanked(k MasterKey, buckets []int, maxKeywords int) (*Ranked, error) {
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("pps: ranked needs rank buckets")
+	}
+	bs := append([]int(nil), buckets...)
+	sort.Ints(bs)
+	cfg := DefaultBloomConfig()
+	cfg.MaxWords = maxKeywords * (1 + len(bs))
+	return &Ranked{bloom: NewBloom(k, cfg), buckets: bs}, nil
+}
+
+// Buckets returns the rank cut-offs.
+func (s *Ranked) Buckets() []int { return s.buckets }
+
+// EncryptQuery asks for documents where word ranks within the top
+// `within` keywords. within must be one of the configured buckets;
+// within = 0 means an unranked keyword query.
+func (s *Ranked) EncryptQuery(word string, within int) (BloomQuery, error) {
+	if within == 0 {
+		return s.bloom.EncryptQuery("kw|" + word), nil
+	}
+	for _, b := range s.buckets {
+		if b == within {
+			return s.bloom.EncryptQuery(fmt.Sprintf("top%d|%s", b, word)), nil
+		}
+	}
+	return BloomQuery{}, fmt.Errorf("pps: rank bucket %d not configured (have %v)", within, s.buckets)
+}
+
+// EncryptMetadata encodes a document's keywords in rank order (most
+// important first).
+func (s *Ranked) EncryptMetadata(rankedKeywords []string) (BloomMetadata, error) {
+	var words []string
+	for rank, kw := range rankedKeywords {
+		words = append(words, "kw|"+kw)
+		for _, b := range s.buckets {
+			if rank < b {
+				words = append(words, fmt.Sprintf("top%d|%s", b, kw))
+			}
+		}
+	}
+	return s.bloom.EncryptMetadata(words)
+}
+
+// Match runs on the server.
+func (s *Ranked) Match(q BloomQuery, m BloomMetadata) bool {
+	return s.bloom.MatchBloom(q, m)
+}

@@ -1,0 +1,159 @@
+// Package proto defines the RPC payloads exchanged between the ROAR
+// cluster roles (frontend, data node, membership server). Keeping them
+// in one place documents the protocol and avoids import cycles.
+package proto
+
+import (
+	"roar/internal/pps"
+)
+
+// Method names.
+const (
+	// Node methods.
+	MNodeQuery  = "node.query"
+	MNodePut    = "node.put"
+	MNodeDelete = "node.delete"
+	MNodeRetain = "node.retain"
+	MNodeStats  = "node.stats"
+	MNodePing   = "node.ping"
+
+	// Membership methods (for the cmd/roar-member wire wrapper).
+	MMemberJoin   = "member.join"
+	MMemberLeave  = "member.leave"
+	MMemberView   = "member.view"
+	MMemberSetP   = "member.setp"
+	MMemberReport = "member.report"
+	MMemberLoad   = "member.load"
+
+	// Frontend client-facing method (cmd/roar-frontend).
+	MFEQuery = "fe.query"
+)
+
+// LoadReq asks the membership server to load a corpus file (written by
+// store.SaveFile) as the backend object set.
+type LoadReq struct {
+	Path string `json:"path"`
+}
+
+// LoadResp reports the loaded record count.
+type LoadResp struct {
+	Records int `json:"records"`
+}
+
+// FEQueryReq is a client query to a frontend.
+type FEQueryReq struct {
+	Q pps.Query `json:"q"`
+}
+
+// FEQueryResp is the frontend's answer.
+type FEQueryResp struct {
+	IDs        []uint64 `json:"ids,omitempty"`
+	DelayNanos int64    `json:"delay_ns"`
+	SubQueries int      `json:"sub_queries"`
+}
+
+// QueryReq asks a node to match the encrypted query against its stored
+// objects with ids in the half-open arc (Lo, Hi] — §4.2's partitioned
+// sub-query carrying the duplicate-avoidance bounds.
+type QueryReq struct {
+	QID uint64    `json:"qid"` // query id, for logging/tracing
+	Lo  float64   `json:"lo"`
+	Hi  float64   `json:"hi"`
+	Q   pps.Query `json:"q"`
+}
+
+// QueryResp carries the matching object ids.
+type QueryResp struct {
+	IDs     []uint64 `json:"ids,omitempty"`
+	Scanned int      `json:"scanned"`
+	// MatchNanos is pure matching time on the node, for the delay
+	// breakdown of Fig 7.11.
+	MatchNanos int64 `json:"match_ns"`
+}
+
+// PutReq pushes replica records to a node (the backend update server
+// strategy of §4.1).
+type PutReq struct {
+	Records []pps.Encoded `json:"records"`
+}
+
+// PutResp acknowledges stored records.
+type PutResp struct {
+	Stored int `json:"stored"`
+	Total  int `json:"total"` // node's record count after the put
+}
+
+// DeleteReq removes records by id.
+type DeleteReq struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// RetainReq tells a node its (possibly new) range and partitioning
+// level; the node drops every record outside the implied stored set
+// (§4.5: increasing p means dropping replicas immediately).
+type RetainReq struct {
+	Start  float64 `json:"start"`
+	Length float64 `json:"length"`
+	P      int     `json:"p"`
+}
+
+// RetainResp reports the deletions.
+type RetainResp struct {
+	Dropped   int `json:"dropped"`
+	Remaining int `json:"remaining"`
+}
+
+// StatsResp is a node's counters (Fig 7.3 CPU load, Table 7.3 health).
+type StatsResp struct {
+	Objects    int     `json:"objects"`
+	Queries    int64   `json:"queries"`
+	Scanned    int64   `json:"scanned"`
+	BusyNanos  int64   `json:"busy_ns"`
+	UptimeSecs float64 `json:"uptime_s"`
+}
+
+// NodeInfo describes one node's placement for frontend consumption.
+type NodeInfo struct {
+	ID    int     `json:"id"`
+	Ring  int     `json:"ring"`
+	Start float64 `json:"start"`
+	Addr  string  `json:"addr"`
+}
+
+// View is the membership server's cluster snapshot: everything a
+// frontend needs to schedule queries.
+type View struct {
+	Epoch int        `json:"epoch"` // increases on every change
+	P     int        `json:"p"`     // safe partitioning level (§4.5)
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// JoinReq registers a node with the membership server.
+type JoinReq struct {
+	Addr      string  `json:"addr"`
+	SpeedHint float64 `json:"speed_hint,omitempty"`
+}
+
+// JoinResp returns the assigned placement.
+type JoinResp struct {
+	ID    int     `json:"id"`
+	Ring  int     `json:"ring"`
+	Start float64 `json:"start"`
+}
+
+// LeaveReq removes a node gracefully.
+type LeaveReq struct {
+	ID int `json:"id"`
+}
+
+// SetPReq requests an on-the-fly partitioning change (§4.5).
+type SetPReq struct {
+	P int `json:"p"`
+}
+
+// ReportReq carries frontend statistics to the membership server
+// (§4.9: node liveness and processing speed observations).
+type ReportReq struct {
+	Speeds map[int]float64 `json:"speeds,omitempty"` // node id -> fraction/s
+	Failed []int           `json:"failed,omitempty"`
+}

@@ -1,0 +1,177 @@
+package ptn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roar/internal/core"
+	"roar/internal/ring"
+)
+
+func nodeIDs(n int) []ring.NodeID {
+	out := make([]ring.NodeID, n)
+	for i := range out {
+		out[i] = ring.NodeID(i)
+	}
+	return out
+}
+
+func TestNewClusters(t *testing.T) {
+	c, err := New(nodeIDs(12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P() != 4 || c.N() != 12 {
+		t.Fatalf("P=%d N=%d", c.P(), c.N())
+	}
+	for k := 0; k < 4; k++ {
+		if len(c.Cluster(k)) != 3 {
+			t.Errorf("cluster %d has %d members, want 3", k, len(c.Cluster(k)))
+		}
+	}
+	if c.ClusterOf(5) != 5%4 {
+		t.Errorf("ClusterOf(5) = %d", c.ClusterOf(5))
+	}
+	if c.ClusterOf(99) != -1 {
+		t.Error("absent node should map to -1")
+	}
+	if _, err := New(nodeIDs(3), 4); err == nil {
+		t.Error("too few nodes should be rejected")
+	}
+	if _, err := New(nodeIDs(3), 0); err == nil {
+		t.Error("p=0 should be rejected")
+	}
+	if _, err := New([]ring.NodeID{1, 1}, 1); err == nil {
+		t.Error("duplicate ids should be rejected")
+	}
+}
+
+func TestNewBalanced(t *testing.T) {
+	speeds := map[ring.NodeID]float64{}
+	ids := nodeIDs(12)
+	rng := rand.New(rand.NewSource(1))
+	for _, id := range ids {
+		speeds[id] = 1 + rng.Float64()*9
+	}
+	c, err := NewBalanced(ids, speeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]float64, 4)
+	var sum float64
+	for k := 0; k < 4; k++ {
+		for _, id := range c.Cluster(k) {
+			totals[k] += speeds[id]
+			sum += speeds[id]
+		}
+	}
+	mean := sum / 4
+	for k, tot := range totals {
+		if math.Abs(tot-mean) > mean*0.5 {
+			t.Errorf("cluster %d total speed %v far from mean %v", k, tot, mean)
+		}
+	}
+}
+
+func TestScheduleFastestPerCluster(t *testing.T) {
+	c, _ := New(nodeIDs(8), 2)
+	speeds := map[ring.NodeID]float64{}
+	for i := 0; i < 8; i++ {
+		speeds[ring.NodeID(i)] = 1
+	}
+	speeds[0] = 100 // fastest in cluster 0
+	speeds[1] = 50  // fastest in cluster 1
+	est := core.EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+		return size / speeds[id]
+	})
+	plan, err := c.Schedule(est, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subs) != 2 {
+		t.Fatalf("want 2 subs, got %d", len(plan.Subs))
+	}
+	if plan.Subs[0].Node != 0 || plan.Subs[1].Node != 1 {
+		t.Errorf("scheduler picked %d,%d; want fastest 0,1", plan.Subs[0].Node, plan.Subs[1].Node)
+	}
+	if math.Abs(plan.Delay-0.5/50) > 1e-12 {
+		t.Errorf("delay = %v, want 0.01", plan.Delay)
+	}
+}
+
+func TestScheduleSkipsFailed(t *testing.T) {
+	c, _ := New(nodeIDs(4), 2)
+	est := core.EstimatorFunc(func(id ring.NodeID, size float64) float64 { return size })
+	failed := map[ring.NodeID]bool{0: true}
+	plan, err := c.Schedule(est, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Subs {
+		if failed[s.Node] {
+			t.Error("plan uses a failed node")
+		}
+	}
+	// Kill the whole cluster 0 (nodes 0 and 2): partition unavailable.
+	failed[2] = true
+	if _, err := c.Schedule(est, failed); err == nil {
+		t.Error("dead cluster should make queries fail")
+	}
+}
+
+func TestRepartitionCost(t *testing.T) {
+	c, _ := New(nodeIDs(12), 4)
+	if cost, err := c.RepartitionCost(4); err != nil || cost != 0 {
+		t.Errorf("no-op repartition cost = %v, %v", cost, err)
+	}
+	down, err := c.RepartitionCost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.RepartitionCost(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down <= 0 || up <= 0 {
+		t.Errorf("repartition must cost data movement: down=%v up=%v", down, up)
+	}
+	// The asymmetric destroy-and-reload path (decreasing p) moves more
+	// data than cluster creation (§3.1).
+	if down <= up {
+		t.Errorf("decreasing p (%v) should cost more than increasing (%v)", down, up)
+	}
+	if _, err := c.RepartitionCost(0); err == nil {
+		t.Error("invalid target p should error")
+	}
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	c, _ := New(nodeIDs(8), 2)
+	if err := c.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.ClusterOf(3) != -1 || c.N() != 7 {
+		t.Error("removal not applied")
+	}
+	if err := c.RemoveNode(3); err == nil {
+		t.Error("double removal should error")
+	}
+	if err := c.AddNode(100); err != nil {
+		t.Fatal(err)
+	}
+	// Node joins the smallest cluster (cluster 1, which lost node 3).
+	if c.ClusterOf(100) != 1 {
+		t.Errorf("new node joined cluster %d, want the smallest (1)", c.ClusterOf(100))
+	}
+	if err := c.AddNode(100); err == nil {
+		t.Error("duplicate add should error")
+	}
+}
+
+func TestChoices(t *testing.T) {
+	c, _ := New(nodeIDs(12), 4) // clusters of 3 => 3^4 = 81
+	if got := c.Choices(); got != 81 {
+		t.Errorf("Choices = %v, want 81", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package randdr implements the Randomized distributed-rendezvous
+// baseline of §3.2 (in the style of BubbleStorm): object replicas are
+// placed on c·r random servers, and queries visit c·n/r random servers.
+// Coverage is probabilistic — harvest is below 100% — which is why §3.4
+// dismisses it for data-center use; it exists here to reproduce the
+// comparison tables.
+package randdr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roar/internal/core"
+	"roar/internal/ring"
+)
+
+// Rand is a randomized DR layout.
+type Rand struct {
+	nodes []ring.NodeID
+	r     int
+	c     float64
+}
+
+// New builds the layout. c is the overprovisioning constant; the typical
+// value 2 yields ~98% harvest (§3.2).
+func New(nodes []ring.NodeID, r int, c float64) (*Rand, error) {
+	if r <= 0 || r > len(nodes) {
+		return nil, fmt.Errorf("randdr: replication %d invalid for %d nodes", r, len(nodes))
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("randdr: c must be >= 1, got %v", c)
+	}
+	return &Rand{nodes: append([]ring.NodeID(nil), nodes...), r: r, c: c}, nil
+}
+
+// StoreReplicas draws the c·r random distinct servers for a new object
+// (the random-walk endpoints of §3.2).
+func (d *Rand) StoreReplicas(rng *rand.Rand) []ring.NodeID {
+	k := d.storeCount()
+	return d.sample(k, rng)
+}
+
+// QueryTargets draws the c·n/r random distinct servers a query visits.
+func (d *Rand) QueryTargets(rng *rand.Rand) []ring.NodeID {
+	k := d.queryCount()
+	return d.sample(k, rng)
+}
+
+func (d *Rand) storeCount() int {
+	k := int(math.Ceil(d.c * float64(d.r)))
+	if k > len(d.nodes) {
+		k = len(d.nodes)
+	}
+	return k
+}
+
+func (d *Rand) queryCount() int {
+	k := int(math.Ceil(d.c * float64(len(d.nodes)) / float64(d.r)))
+	if k > len(d.nodes) {
+		k = len(d.nodes)
+	}
+	return k
+}
+
+func (d *Rand) sample(k int, rng *rand.Rand) []ring.NodeID {
+	idx := rng.Perm(len(d.nodes))[:k]
+	out := make([]ring.NodeID, k)
+	for i, j := range idx {
+		out[i] = d.nodes[j]
+	}
+	return out
+}
+
+// ExpectedHarvest returns the probability that a query visits at least
+// one replica of a given object: 1 - (1 - s/n)^q for s stored copies and
+// q query targets, the hypergeometric miss bound of §3.2.
+func (d *Rand) ExpectedHarvest() float64 {
+	n := float64(len(d.nodes))
+	s := float64(d.storeCount())
+	q := float64(d.queryCount())
+	// Exact hypergeometric: P(miss) = C(n-s, q)/C(n, q).
+	miss := 1.0
+	for i := 0.0; i < q; i++ {
+		miss *= (n - s - i) / (n - i)
+		if miss <= 0 {
+			return 1
+		}
+	}
+	return 1 - miss
+}
+
+// Plan is a randomized query assignment.
+type Plan struct {
+	Subs  []Assignment
+	Delay float64
+}
+
+// Assignment is one sub-query target.
+type Assignment struct {
+	Node ring.NodeID
+	Est  float64
+}
+
+// Schedule draws the random target set and estimates its delay. Each
+// target searches its full local share, size 1/p with p = n/r (the
+// overprovisioning spends c× more messages, not smaller sub-queries).
+func (d *Rand) Schedule(est core.Estimator, rng *rand.Rand, failed map[ring.NodeID]bool) (Plan, error) {
+	size := float64(d.r) / float64(len(d.nodes))
+	targets := d.QueryTargets(rng)
+	plan := Plan{Subs: make([]Assignment, 0, len(targets))}
+	for _, id := range targets {
+		if failed[id] {
+			continue // randomized DR simply loses that server's share
+		}
+		fin := est.EstimateFinish(id, size)
+		plan.Subs = append(plan.Subs, Assignment{Node: id, Est: fin})
+		if fin > plan.Delay {
+			plan.Delay = fin
+		}
+	}
+	if len(plan.Subs) == 0 {
+		return Plan{}, fmt.Errorf("randdr: all drawn targets failed")
+	}
+	return plan, nil
+}
+
+// MessageCost returns the per-operation message counts for Table 6.2:
+// store sends c·r messages, query sends c·n/r.
+func (d *Rand) MessageCost() (store, query int) {
+	return d.storeCount(), d.queryCount()
+}

@@ -1,0 +1,120 @@
+package randdr
+
+import (
+	"math/rand"
+	"testing"
+
+	"roar/internal/core"
+	"roar/internal/ring"
+)
+
+func nodeIDs(n int) []ring.NodeID {
+	out := make([]ring.NodeID, n)
+	for i := range out {
+		out[i] = ring.NodeID(i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nodeIDs(10), 0, 2); err == nil {
+		t.Error("r=0 rejected")
+	}
+	if _, err := New(nodeIDs(10), 2, 0.5); err == nil {
+		t.Error("c<1 rejected")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	d, err := New(nodeIDs(100), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, query := d.MessageCost()
+	if store != 20 {
+		t.Errorf("store count = %d, want c*r = 20", store)
+	}
+	if query != 20 {
+		t.Errorf("query count = %d, want c*n/r = 20", query)
+	}
+}
+
+func TestSamplesAreDistinct(t *testing.T) {
+	d, _ := New(nodeIDs(50), 5, 2)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		seen := map[ring.NodeID]bool{}
+		for _, id := range d.StoreReplicas(rng) {
+			if seen[id] {
+				t.Fatal("duplicate replica target")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestExpectedHarvest(t *testing.T) {
+	// c=2 should give ~98% harvest per §3.2.
+	d, _ := New(nodeIDs(1000), 30, 2)
+	h := d.ExpectedHarvest()
+	if h < 0.95 || h > 1 {
+		t.Errorf("harvest = %v, want ~0.98", h)
+	}
+	// c=1 harvest is visibly lower.
+	d1, _ := New(nodeIDs(1000), 30, 1)
+	if h1 := d1.ExpectedHarvest(); h1 >= h {
+		t.Errorf("c=1 harvest %v should be below c=2 harvest %v", h1, h)
+	}
+}
+
+func TestEmpiricalHarvestMatches(t *testing.T) {
+	d, _ := New(nodeIDs(200), 10, 2)
+	rng := rand.New(rand.NewSource(2))
+	hits := 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		replicas := map[ring.NodeID]bool{}
+		for _, id := range d.StoreReplicas(rng) {
+			replicas[id] = true
+		}
+		for _, id := range d.QueryTargets(rng) {
+			if replicas[id] {
+				hits++
+				break
+			}
+		}
+	}
+	got := float64(hits) / trials
+	want := d.ExpectedHarvest()
+	if got < want-0.02 || got > want+0.02 {
+		t.Errorf("empirical harvest %v vs analytic %v", got, want)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	d, _ := New(nodeIDs(100), 10, 2)
+	rng := rand.New(rand.NewSource(3))
+	est := core.EstimatorFunc(func(id ring.NodeID, size float64) float64 { return size })
+	plan, err := d.Schedule(est, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subs) != 20 {
+		t.Errorf("got %d targets, want 20", len(plan.Subs))
+	}
+	if plan.Delay != 0.1 {
+		t.Errorf("delay = %v, want size 0.1", plan.Delay)
+	}
+	// Failed targets are simply dropped (harvest loss, not failure).
+	failed := map[ring.NodeID]bool{}
+	for i := 0; i < 99; i++ {
+		failed[ring.NodeID(i)] = true
+	}
+	if _, err := d.Schedule(est, rng, failed); err == nil {
+		// One node may survive the draw; retry with all failed.
+		failed[99] = true
+		if _, err := d.Schedule(est, rng, failed); err == nil {
+			t.Error("all-failed draw should error")
+		}
+	}
+}

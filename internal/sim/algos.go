@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"roar/internal/core"
+	"roar/internal/ptn"
+	"roar/internal/randdr"
+	"roar/internal/ring"
+	"roar/internal/sw"
+)
+
+// roarSched drives the production core.Placement/Schedule path.
+type roarSched struct {
+	pl     *core.Placement
+	pq     int
+	adjust bool
+	splits int
+	tries  int // >0: random-start scheduler instead of Algorithm 1
+	rng    *rand.Rand
+}
+
+func newRoarSched(cfg Config, estSpeeds []float64, nRings int, rng *rand.Rand) (*roarSched, error) {
+	rings, err := buildRings(cfg.N, estSpeeds, nRings, cfg.ProportionalRanges)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.NewPlacement(cfg.P, rings...)
+	if err != nil {
+		return nil, err
+	}
+	return &roarSched{pl: pl, pq: cfg.PQ, adjust: cfg.RangeAdjust, splits: cfg.MaxSplits,
+		tries: cfg.RandTries, rng: rng}, nil
+}
+
+// buildRings distributes n nodes (ids 0..n-1) over nRings rings with
+// roughly equal total speed per ring (§4.9: the membership server gives
+// equal processing capacity to each ring), node ranges proportional to
+// speed when requested (§4.6), equal otherwise.
+func buildRings(n int, speeds []float64, nRings int, proportional bool) ([]*ring.Ring, error) {
+	if nRings <= 0 || n < nRings {
+		return nil, fmt.Errorf("sim: cannot place %d nodes on %d rings", n, nRings)
+	}
+	// Assign nodes to rings: fastest-first to the lightest ring.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return speeds[order[a]] > speeds[order[b]] })
+	members := make([][]int, nRings)
+	totals := make([]float64, nRings)
+	for _, i := range order {
+		light := 0
+		for k := 1; k < nRings; k++ {
+			if totals[k] < totals[light] {
+				light = k
+			}
+		}
+		members[light] = append(members[light], i)
+		totals[light] += speeds[i]
+	}
+	rings := make([]*ring.Ring, nRings)
+	for k, ids := range members {
+		sort.Ints(ids) // deterministic ring order
+		r := ring.New()
+		if proportional {
+			var total float64
+			for _, i := range ids {
+				total += speeds[i]
+			}
+			pos := 0.0
+			for _, i := range ids {
+				if err := r.Insert(ring.NodeID(i), ring.Norm(pos)); err != nil {
+					return nil, err
+				}
+				pos += speeds[i] / total
+			}
+		} else {
+			for j, i := range ids {
+				if err := r.Insert(ring.NodeID(i), ring.Norm(float64(j)/float64(len(ids)))); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rings[k] = r
+	}
+	return rings, nil
+}
+
+func (s *roarSched) schedule(st *state) ([]subAssign, error) {
+	est := st.estimator()
+	var plan core.Plan
+	var err error
+	if s.tries > 0 {
+		plan, err = s.pl.ScheduleRandom(s.pq, s.tries, est, s.rng)
+	} else {
+		plan, err = s.pl.Schedule(s.pq, est)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.adjust {
+		plan = s.pl.AdjustRanges(plan, est, 8)
+	}
+	if s.splits > 0 {
+		plan = s.pl.SplitSlowest(plan, est, s.splits)
+	}
+	subs := make([]subAssign, len(plan.Subs))
+	for i, sq := range plan.Subs {
+		subs[i] = subAssign{node: int(sq.Node), size: sq.Size()}
+	}
+	return subs, nil
+}
+
+// ptnSched drives the cluster baseline with speed-balanced clusters.
+type ptnSched struct {
+	c *ptn.PTN
+}
+
+func newPtnSched(cfg Config, estSpeeds []float64) (*ptnSched, error) {
+	ids := make([]ring.NodeID, cfg.N)
+	speeds := make(map[ring.NodeID]float64, cfg.N)
+	for i := range ids {
+		ids[i] = ring.NodeID(i)
+		speeds[ids[i]] = estSpeeds[i]
+	}
+	c, err := ptn.NewBalanced(ids, speeds, cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	return &ptnSched{c: c}, nil
+}
+
+func (s *ptnSched) schedule(st *state) ([]subAssign, error) {
+	plan, err := s.c.Schedule(st.estimator(), nil)
+	if err != nil {
+		return nil, err
+	}
+	size := 1 / float64(s.c.P())
+	subs := make([]subAssign, len(plan.Subs))
+	for i, a := range plan.Subs {
+		subs[i] = subAssign{node: int(a.Node), size: size}
+	}
+	return subs, nil
+}
+
+// swSched drives the discrete sliding window baseline.
+type swSched struct {
+	s *sw.SW
+}
+
+func newSwSched(cfg Config, rng *rand.Rand) (*swSched, error) {
+	if cfg.N%cfg.P != 0 {
+		return nil, fmt.Errorf("sim: SW requires p|n, got n=%d p=%d", cfg.N, cfg.P)
+	}
+	r := cfg.N / cfg.P
+	ids := make([]ring.NodeID, cfg.N)
+	for i, j := range rng.Perm(cfg.N) {
+		ids[i] = ring.NodeID(j)
+	}
+	s, err := sw.New(ids, r)
+	if err != nil {
+		return nil, err
+	}
+	return &swSched{s: s}, nil
+}
+
+func (s *swSched) schedule(st *state) ([]subAssign, error) {
+	plan, err := s.s.Schedule(st.estimator(), nil)
+	if err != nil {
+		return nil, err
+	}
+	size := 1 / float64(s.s.P())
+	subs := make([]subAssign, len(plan.Subs))
+	for i, a := range plan.Subs {
+		subs[i] = subAssign{node: int(a.Node), size: size}
+	}
+	return subs, nil
+}
+
+// randSched drives the randomized baseline with the standard c=2.
+type randSched struct {
+	d   *randdr.Rand
+	rng *rand.Rand
+}
+
+func newRandSched(cfg Config, rng *rand.Rand) (*randSched, error) {
+	ids := make([]ring.NodeID, cfg.N)
+	for i := range ids {
+		ids[i] = ring.NodeID(i)
+	}
+	r := cfg.N / cfg.P
+	if r < 1 {
+		r = 1
+	}
+	d, err := randdr.New(ids, r, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &randSched{d: d, rng: rng}, nil
+}
+
+func (s *randSched) schedule(st *state) ([]subAssign, error) {
+	plan, err := s.d.Schedule(st.estimator(), s.rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]subAssign, len(plan.Subs))
+	for i, a := range plan.Subs {
+		// Each randomized target searches its full local share.
+		subs[i] = subAssign{node: int(a.Node), size: 1 / float64(len(plan.Subs))}
+	}
+	return subs, nil
+}
+
+// optSched is the work-conserving lower bound of §6.1.1: every query is
+// split across all servers proportionally to their true speed, so each
+// finishes its share simultaneously — the best any rendezvous algorithm
+// could do with perfect knowledge and infinitely divisible work.
+type optSched struct{}
+
+func (optSched) schedule(st *state) ([]subAssign, error) {
+	var total float64
+	for _, s := range st.trueSpeed {
+		total += s
+	}
+	subs := make([]subAssign, len(st.trueSpeed))
+	for i, s := range st.trueSpeed {
+		subs[i] = subAssign{node: i, size: s / total}
+	}
+	return subs, nil
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file reproduces the fault-tolerance analysis of §6.2 (Fig 6.8):
+// the probability that, after k simultaneous fail-stop failures, some
+// object has lost every replica — making strict (100% harvest) queries
+// impossible until recovery.
+
+// AvailabilityConfig parameterises the Monte-Carlo availability study.
+type AvailabilityConfig struct {
+	Algo   Algo // ROAR, ROAR2, PTN or SW
+	N      int
+	P      int
+	Trials int
+	Seed   int64
+}
+
+// Unavailability estimates P(data loss | k failures) over random
+// failure sets. Equal node ranges / even clusters are assumed, matching
+// the paper's analysis setting.
+func Unavailability(cfg AvailabilityConfig, failures int) (float64, error) {
+	if cfg.N <= 0 || cfg.P <= 0 || cfg.P > cfg.N {
+		return 0, fmt.Errorf("sim: bad N=%d P=%d", cfg.N, cfg.P)
+	}
+	if failures < 0 || failures > cfg.N {
+		return 0, fmt.Errorf("sim: %d failures out of %d nodes", failures, cfg.N)
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 5000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lost := 0
+	for t := 0; t < cfg.Trials; t++ {
+		dead := make([]bool, cfg.N)
+		for _, i := range rng.Perm(cfg.N)[:failures] {
+			dead[i] = true
+		}
+		var l bool
+		var err error
+		switch cfg.Algo {
+		case ROAR:
+			l = roarLoss(dead, cfg.P, 1)
+		case ROAR2:
+			l = roarLoss(dead, cfg.P, 2)
+		case PTN:
+			l = ptnLoss(dead, cfg.P)
+		case SW:
+			if cfg.N%cfg.P != 0 {
+				err = fmt.Errorf("sim: SW requires p|n")
+			} else {
+				l = swLoss(dead, cfg.N/cfg.P)
+			}
+		default:
+			err = fmt.Errorf("sim: availability undefined for %v", cfg.Algo)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if l {
+			lost++
+		}
+	}
+	return float64(lost) / float64(cfg.Trials), nil
+}
+
+// interval is a closed arc [lo, hi] of object ids (hi may be < lo when
+// wrapping; we avoid wrap by cutting runs at the 0 boundary is not
+// needed because runs are built in node order and converted carefully).
+type interval struct{ lo, hi float64 }
+
+// roarLoss reports whether some object id has lost all replicas across
+// the given number of rings, with n nodes split evenly across rings and
+// equal ranges within each ring. An object at id is lost on one ring
+// when a contiguous run of dead nodes covers its whole replication arc
+// [id, id+1/p); with multiple rings it must be lost on every ring.
+func roarLoss(dead []bool, p int, nRings int) bool {
+	n := len(dead)
+	// Split nodes round-robin across rings (ids 0..n-1).
+	var perRing [][]interval
+	for k := 0; k < nRings; k++ {
+		var members []int
+		for i := k; i < n; i += nRings {
+			members = append(members, i)
+		}
+		perRing = append(perRing, ringLostIntervals(dead, members, p))
+		if len(perRing[k]) == 0 {
+			return false // this ring alone preserves every object
+		}
+	}
+	// Lost iff the per-ring lost-id sets intersect.
+	common := perRing[0]
+	for k := 1; k < nRings; k++ {
+		common = intersectIntervals(common, perRing[k])
+		if len(common) == 0 {
+			return false
+		}
+	}
+	return len(common) > 0
+}
+
+// ringLostIntervals returns the set of object ids with no live replica
+// on a ring whose members (in ring order) have equal ranges. A run of
+// dead nodes spanning an arc strictly longer than 1/p loses the objects
+// whose whole replication arc fits inside it; a run of exactly 1/p
+// loses only a measure-zero boundary point and is not counted — this is
+// the continuous ring's small availability edge over discrete SW.
+func ringLostIntervals(dead []bool, members []int, p int) []interval {
+	m := len(members)
+	allDead := true
+	for _, i := range members {
+		if !dead[i] {
+			allDead = false
+			break
+		}
+	}
+	if allDead {
+		return []interval{{lo: 0, hi: 1}}
+	}
+	w := 1.0 / float64(m) // range width per node on this ring
+	repl := 1.0 / float64(p)
+	var out []interval
+	for i := 0; i < m; i++ {
+		// Only start at true run heads: dead node with a live predecessor.
+		if !dead[members[i]] || dead[members[(i-1+m)%m]] {
+			continue
+		}
+		runLen := 0
+		for j := i; dead[members[j%m]] && runLen < m; j++ {
+			runLen++
+		}
+		start := float64(i) * w
+		length := float64(runLen) * w
+		if length > repl+1e-12 {
+			// Objects in [start, start+length-repl] lose every replica.
+			out = append(out, interval{lo: start, hi: start + length - repl})
+		}
+	}
+	return out
+}
+
+// intersectIntervals intersects two sets of closed intervals on the
+// circle, treating coordinates mod 1.
+func intersectIntervals(a, b []interval) []interval {
+	var out []interval
+	for _, x := range a {
+		for _, y := range b {
+			if iv, ok := intersectOne(x, y); ok {
+				out = append(out, iv)
+			}
+		}
+	}
+	return out
+}
+
+func intersectOne(x, y interval) (interval, bool) {
+	// Normalise to linear coordinates by unrolling wrap: try both y and
+	// y shifted ±1.
+	for _, shift := range []float64{-1, 0, 1} {
+		lo := maxFl(x.lo, y.lo+shift)
+		hi := minFl(x.hi, y.hi+shift)
+		if lo <= hi {
+			return interval{lo: lo, hi: hi}, true
+		}
+	}
+	return interval{}, false
+}
+
+func maxFl(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minFl(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ptnLoss reports whether some cluster is entirely dead (nodes assigned
+// round-robin to p clusters).
+func ptnLoss(dead []bool, p int) bool {
+	n := len(dead)
+	for k := 0; k < p; k++ {
+		all := true
+		any := false
+		for i := k; i < n; i += p {
+			any = true
+			if !dead[i] {
+				all = false
+				break
+			}
+		}
+		if any && all {
+			return true
+		}
+	}
+	return false
+}
+
+// swLoss reports whether r consecutive nodes (in circular list order)
+// are all dead — the discrete sliding window's loss condition.
+func swLoss(dead []bool, r int) bool {
+	n := len(dead)
+	run := 0
+	// Scan twice around to catch wrapping runs.
+	for i := 0; i < 2*n; i++ {
+		if dead[i%n] {
+			run++
+			if run >= r {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+
+	"roar/internal/ptn"
+	"roar/internal/randdr"
+	"roar/internal/ring"
+)
+
+// This file reproduces Table 6.2 ("Bandwidth consumption comparison,
+// messages per operation") and the §6.3 reconfiguration-cost analysis.
+
+// CostRow is one operation's per-algorithm message cost. Store and query
+// costs are messages per operation; reconfiguration costs are total
+// messages for changing the system's r by one with D objects stored.
+type CostRow struct {
+	Op   string
+	ROAR float64
+	PTN  float64
+	SW   float64
+	RAND float64
+}
+
+// MessageCosts evaluates the Table 6.2 model for a system of n servers,
+// partitioning level p (so r = n/p) and D stored objects.
+//
+//   - Store: one message per replica created. ROAR's replication arc of
+//     length 1/p intersects on average r+1 node ranges.
+//   - Query: one message per sub-query. RAND sends c× more (c = 2).
+//   - Increase r by one: ROAR and SW ship one new replica per object
+//     (D messages, each node pulling 1/n of the data); PTN must tear
+//     down a cluster and reload (the §3.1 asymmetric path, computed from
+//     the ptn cost model); RAND extends each random walk by one hop.
+//   - Decrease r by one: deletions only for ROAR/SW/RAND (counted as 0
+//     data messages); PTN again pays the cluster restructuring.
+func MessageCosts(n, p, d int) ([]CostRow, error) {
+	if n <= 0 || p <= 0 || p > n {
+		return nil, fmt.Errorf("sim: bad n=%d p=%d", n, p)
+	}
+	r := float64(n) / float64(p)
+	c := 2.0 // RAND's overprovisioning constant
+
+	ids := make([]ring.NodeID, n)
+	for i := range ids {
+		ids[i] = ring.NodeID(i)
+	}
+	cluster, err := ptn.New(ids, p)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := randdr.New(ids, int(r+0.5), c)
+	if err != nil {
+		return nil, err
+	}
+	randStore, randQuery := rd.MessageCost()
+
+	// PTN reconfiguration: fraction of the dataset transferred, times D
+	// object messages. Increasing r by one with n fixed means p' chosen
+	// so n/p' = r+1.
+	pDown := int(float64(n) / (r + 1))
+	if pDown < 1 {
+		pDown = 1
+	}
+	downFrac, err := cluster.RepartitionCost(pDown)
+	if err != nil {
+		return nil, err
+	}
+	pUp := int(float64(n) / (r - 1))
+	upFrac := 0.0
+	if r > 1 && pUp <= n {
+		upFrac, err = cluster.RepartitionCost(pUp)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	df := float64(d)
+	return []CostRow{
+		{Op: "store object", ROAR: r + 1, PTN: r, SW: r, RAND: float64(randStore)},
+		{Op: "run query", ROAR: float64(p), PTN: float64(p), SW: float64(p), RAND: float64(randQuery)},
+		{Op: "increase r by 1", ROAR: df, PTN: downFrac * df, SW: df, RAND: df},
+		{Op: "decrease r by 1", ROAR: 0, PTN: upFrac * df, SW: 0, RAND: 0},
+	}, nil
+}
+
+// ReconfigurationCost compares the §6.3 r/p trade-off change for ROAR
+// and PTN: the fraction of the dataset transferred when moving from
+// partitioning level p to newP with n servers fixed.
+//
+// ROAR extends or contracts every object's replication arc: moving from
+// p to newP < p transfers each object over an extra arc of length
+// 1/newP - 1/p, i.e. a fraction (1/newP - 1/p)·n/... expressed relative
+// to the dataset: each object gains (n/newP - n/p) replicas on average,
+// so the transfer is (r' - r)/1 object-copies per object; shrinking
+// transfers nothing.
+func ReconfigurationCost(n, p, newP int) (roarFrac, ptnFrac float64, err error) {
+	if n <= 0 || p <= 0 || newP <= 0 || p > n || newP > n {
+		return 0, 0, fmt.Errorf("sim: bad n=%d p=%d newP=%d", n, p, newP)
+	}
+	ids := make([]ring.NodeID, n)
+	for i := range ids {
+		ids[i] = ring.NodeID(i)
+	}
+	cluster, err := ptn.New(ids, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	ptnFrac, err = cluster.RepartitionCost(newP)
+	if err != nil {
+		return 0, 0, err
+	}
+	rOld := float64(n) / float64(p)
+	rNew := float64(n) / float64(newP)
+	if rNew > rOld {
+		roarFrac = rNew - rOld // new replica copies per object
+	}
+	return roarFrac, ptnFrac, nil
+}

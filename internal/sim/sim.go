@@ -1,0 +1,241 @@
+// Package sim is the numerical simulator behind the Chapter 6 analytic
+// evaluation. It reproduces the paper's simulation methodology (§6.1):
+// queries arrive open-loop as a Poisson process; the front-end holds,
+// for every server, the finish time of its last assigned task and a
+// (possibly erroneous) speed estimate; each algorithm's scheduler picks
+// servers; execution is serial per server at the server's true speed.
+// Query delays are fitted against arrival time, and a slope above 0.1
+// declares the run overloaded (exploding queues → infinite delay).
+//
+// The ROAR scheduler here is the same internal/core implementation the
+// real frontend uses, so Figs 6.1–6.7 exercise production code.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roar/internal/core"
+	"roar/internal/ring"
+	"roar/internal/stats"
+	"roar/internal/workload"
+)
+
+// Algo selects the distributed-rendezvous algorithm to simulate.
+type Algo int
+
+// Simulated algorithms.
+const (
+	ROAR  Algo = iota // single ring, Algorithm 1 scheduling
+	ROAR2             // two rings (§4.7)
+	PTN               // cluster baseline
+	SW                // discrete sliding window baseline
+	RAND              // randomized baseline
+	OPT               // work-conserving lower bound (§6.1.1)
+)
+
+func (a Algo) String() string {
+	switch a {
+	case ROAR:
+		return "ROAR"
+	case ROAR2:
+		return "ROAR-2ring"
+	case PTN:
+		return "PTN"
+	case SW:
+		return "SW"
+	case RAND:
+		return "RAND"
+	case OPT:
+		return "OPT"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// Config parameterises one simulation run. Speeds are expressed as
+// dataset fractions matched per second: a server with speed s completes
+// a sub-query of size z (fraction of the id space) in z/s seconds.
+type Config struct {
+	Algo   Algo
+	N      int       // number of servers
+	P      int       // partitioning level (min for ROAR; clusters for PTN)
+	PQ     int       // query partitioning level for ROAR (0 => P)
+	Speeds []float64 // true per-server speeds; len N
+
+	// EstErrFrac perturbs the scheduler's speed estimates by a uniform
+	// ±fraction (Fig 6.5). 0 means perfect estimates.
+	EstErrFrac float64
+
+	Rate       float64 // query arrival rate, queries/second
+	NumQueries int     // queries to simulate
+	Seed       int64
+
+	// Per-sub-query fixed overhead in seconds (thread start, message
+	// processing — the constant cost §2 argues limits throughput).
+	FixedOverhead float64
+
+	// ROAR optimisations (Fig 6.7 ablation).
+	RangeAdjust bool
+	MaxSplits   int
+
+	// ProportionalRanges gives ROAR nodes ring ranges proportional to
+	// their estimated speed (§4.6). Disabled, ranges are equal.
+	ProportionalRanges bool
+
+	// RandTries replaces Algorithm 1 with the pick-k-random-starts
+	// scheduler (0 = use Algorithm 1).
+	RandTries int
+}
+
+// Result summarises a run.
+type Result struct {
+	Algo       Algo
+	MeanDelay  float64
+	P50        float64
+	P90        float64
+	P99        float64
+	Overloaded bool
+	// Utilisation is total busy time across servers divided by
+	// (wall time × capacity); the energy model (Table 7.2) uses it.
+	Utilisation float64
+	// SubQueries is the average number of sub-queries sent per query
+	// (grows with splitting and failures).
+	SubQueries float64
+}
+
+func (r Result) String() string {
+	if r.Overloaded {
+		return fmt.Sprintf("%s: OVERLOADED", r.Algo)
+	}
+	return fmt.Sprintf("%s: mean=%.4fs p50=%.4f p90=%.4f p99=%.4f util=%.2f subs=%.1f",
+		r.Algo, r.MeanDelay, r.P50, r.P90, r.P99, r.Utilisation, r.SubQueries)
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.N <= 0 || cfg.P <= 0 || cfg.P > cfg.N {
+		return Result{}, fmt.Errorf("sim: bad N=%d P=%d", cfg.N, cfg.P)
+	}
+	if len(cfg.Speeds) != cfg.N {
+		return Result{}, fmt.Errorf("sim: %d speeds for N=%d", len(cfg.Speeds), cfg.N)
+	}
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = 2000
+	}
+	if cfg.PQ == 0 {
+		cfg.PQ = cfg.P
+	}
+	if cfg.PQ < cfg.P {
+		return Result{}, fmt.Errorf("sim: pq=%d below p=%d", cfg.PQ, cfg.P)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	est := workload.PerturbSpeeds(cfg.Speeds, cfg.EstErrFrac, rng)
+
+	sched, err := newScheduler(cfg, est, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	st := state{
+		busyUntil: make([]float64, cfg.N),
+		trueSpeed: cfg.Speeds,
+		estSpeed:  est,
+		overhead:  cfg.FixedOverhead,
+	}
+	arrivals := workload.NewPoisson(cfg.Rate, rng)
+
+	delaysRaw := make([]float64, 0, cfg.NumQueries)
+	times := make([]float64, 0, cfg.NumQueries)
+	now := 0.0
+	totalSubs := 0
+	var busyTotal float64
+	for q := 0; q < cfg.NumQueries; q++ {
+		now += arrivals.NextSeconds()
+		st.now = now
+		subs, err := sched.schedule(&st)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: scheduling query %d: %w", q, err)
+		}
+		totalSubs += len(subs)
+		finish := now
+		for _, s := range subs {
+			start := math.Max(st.busyUntil[s.node], now)
+			dur := s.size/st.trueSpeed[s.node] + st.overhead
+			end := start + dur
+			st.busyUntil[s.node] = end
+			busyTotal += dur
+			if end > finish {
+				finish = end
+			}
+		}
+		delaysRaw = append(delaysRaw, finish-now)
+		times = append(times, now)
+	}
+
+	res := Result{Algo: cfg.Algo}
+	res.SubQueries = float64(totalSubs) / float64(cfg.NumQueries)
+	// Overload detection per §6.1: slope of delay(arrival time) > 0.1.
+	if slope, _, err := stats.LinearFit(times, delaysRaw); err == nil && slope > 0.1 {
+		res.Overloaded = true
+		res.MeanDelay = math.Inf(1)
+		return res, nil
+	}
+	delays := stats.NewSample(len(delaysRaw))
+	delays.AddAll(delaysRaw)
+	res.MeanDelay = delays.Mean()
+	res.P50 = delays.Percentile(50)
+	res.P90 = delays.Percentile(90)
+	res.P99 = delays.Percentile(99)
+	res.Utilisation = busyTotal / (now * float64(cfg.N))
+	return res, nil
+}
+
+// state is the simulated cluster state shared with schedulers.
+type state struct {
+	now       float64
+	busyUntil []float64
+	trueSpeed []float64
+	estSpeed  []float64
+	overhead  float64
+}
+
+// estimator builds the frontend's view: waiting time from exact queue
+// state plus service time from the (possibly perturbed) speed estimate.
+func (st *state) estimator() core.Estimator {
+	return core.EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+		i := int(id)
+		wait := math.Max(st.busyUntil[i]-st.now, 0)
+		return wait + size/st.estSpeed[i] + st.overhead
+	})
+}
+
+// subAssign is a scheduled sub-query in simulator terms.
+type subAssign struct {
+	node int
+	size float64
+}
+
+// scheduler adapts each algorithm to the simulation loop.
+type scheduler interface {
+	schedule(st *state) ([]subAssign, error)
+}
+
+func newScheduler(cfg Config, estSpeeds []float64, rng *rand.Rand) (scheduler, error) {
+	switch cfg.Algo {
+	case ROAR:
+		return newRoarSched(cfg, estSpeeds, 1, rng)
+	case ROAR2:
+		return newRoarSched(cfg, estSpeeds, 2, rng)
+	case PTN:
+		return newPtnSched(cfg, estSpeeds)
+	case SW:
+		return newSwSched(cfg, rng)
+	case RAND:
+		return newRandSched(cfg, rng)
+	case OPT:
+		return &optSched{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %v", cfg.Algo)
+	}
+}

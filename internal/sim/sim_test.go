@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roar/internal/workload"
+)
+
+func baseConfig(algo Algo) Config {
+	return Config{
+		Algo:       algo,
+		N:          24,
+		P:          4,
+		Speeds:     workload.UniformSpeeds(24, 1), // 1 dataset/s each
+		Rate:       2,
+		NumQueries: 800,
+		Seed:       1,
+	}
+}
+
+func TestRunUniformDelays(t *testing.T) {
+	// With uniform speeds, light load, no overhead: each sub-query of
+	// size 1/4 at speed 1 takes 0.25s; all algorithms should sit near
+	// that service time.
+	for _, algo := range []Algo{ROAR, ROAR2, PTN, SW} {
+		res, err := Run(baseConfig(algo))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Overloaded {
+			t.Fatalf("%v overloaded at light load", algo)
+		}
+		if res.MeanDelay < 0.25-1e-9 {
+			t.Errorf("%v mean %v below service time 0.25", algo, res.MeanDelay)
+		}
+		if res.MeanDelay > 0.6 {
+			t.Errorf("%v mean %v too high at light load", algo, res.MeanDelay)
+		}
+	}
+}
+
+func TestOptIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	speeds := workload.LogNormalSpeeds(24, 1, 0.4, rng)
+	var optDelay float64
+	cfg := baseConfig(OPT)
+	cfg.Speeds = speeds
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optDelay = res.MeanDelay
+	for _, algo := range []Algo{ROAR, ROAR2, PTN, SW} {
+		cfg := baseConfig(algo)
+		cfg.Speeds = speeds
+		cfg.ProportionalRanges = true
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if r.Overloaded {
+			continue
+		}
+		if r.MeanDelay < optDelay-1e-9 {
+			t.Errorf("%v mean %v beats the OPT bound %v", algo, r.MeanDelay, optDelay)
+		}
+	}
+}
+
+func TestOrderingROARvsSW(t *testing.T) {
+	// Heterogeneous servers: ROAR (r choices per query point, plus the
+	// full sweep) must beat SW (r offset choices only) and lose to or
+	// match PTN (r^p choices) — the §6.1.2 ordering.
+	rng := rand.New(rand.NewSource(11))
+	speeds := workload.LogNormalSpeeds(24, 1, 0.6, rng)
+	delays := map[Algo]float64{}
+	for _, algo := range []Algo{ROAR, PTN, SW} {
+		cfg := baseConfig(algo)
+		cfg.Speeds = speeds
+		cfg.Rate = 1
+		cfg.NumQueries = 1500
+		cfg.Seed = 3
+		cfg.ProportionalRanges = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		delays[algo] = res.MeanDelay
+	}
+	if delays[ROAR] > delays[SW]+1e-9 {
+		t.Errorf("ROAR (%v) should not be slower than SW (%v)", delays[ROAR], delays[SW])
+	}
+	if delays[PTN] > delays[SW]+1e-9 {
+		t.Errorf("PTN (%v) should not be slower than SW (%v)", delays[PTN], delays[SW])
+	}
+}
+
+func TestOverloadDetection(t *testing.T) {
+	cfg := baseConfig(ROAR)
+	// Capacity: 24 servers × 1 dataset/s with 1/4-size sub-queries =
+	// 24 queries/s max; 100/s is far beyond saturation.
+	cfg.Rate = 100
+	cfg.NumQueries = 1500
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overloaded {
+		t.Errorf("expected overload at rate 100, got mean %v", res.MeanDelay)
+	}
+	if !math.IsInf(res.MeanDelay, 1) {
+		t.Error("overloaded delay should be +Inf")
+	}
+}
+
+func TestHigherPQReducesDelayAtLowLoad(t *testing.T) {
+	// §4.2: at low utilisation, pq > p reduces delay for CPU-bound
+	// queries because more servers share the work.
+	base := baseConfig(ROAR)
+	base.Rate = 0.5
+	res1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := base
+	hi.PQ = 12
+	res2, err := Run(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MeanDelay >= res1.MeanDelay {
+		t.Errorf("pq=12 (%v) should beat pq=4 (%v) at low load", res2.MeanDelay, res1.MeanDelay)
+	}
+}
+
+func TestFixedOverheadRaisesDelay(t *testing.T) {
+	a := baseConfig(ROAR)
+	ra, _ := Run(a)
+	b := a
+	b.FixedOverhead = 0.05
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MeanDelay <= ra.MeanDelay {
+		t.Errorf("overhead must increase delay: %v vs %v", rb.MeanDelay, ra.MeanDelay)
+	}
+}
+
+func TestSpeedEstimationErrorHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	speeds := workload.LogNormalSpeeds(24, 1, 0.6, rng)
+	means := map[float64]float64{}
+	for _, e := range []float64{0, 0.8} {
+		cfg := baseConfig(ROAR)
+		cfg.Speeds = speeds
+		cfg.EstErrFrac = e
+		cfg.Rate = 3
+		cfg.NumQueries = 1500
+		cfg.ProportionalRanges = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[e] = res.MeanDelay
+	}
+	if means[0.8] < means[0] {
+		t.Errorf("large estimation error (%v) should not beat perfect estimates (%v)", means[0.8], means[0])
+	}
+}
+
+func TestAblationMechanismsHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	speeds := workload.LogNormalSpeeds(24, 1, 0.8, rng)
+	run := func(adjust bool, splits int) float64 {
+		cfg := baseConfig(ROAR)
+		cfg.Speeds = speeds
+		cfg.P = 6 // low r where the optimisations matter
+		cfg.Rate = 1
+		cfg.RangeAdjust = adjust
+		cfg.MaxSplits = splits
+		cfg.ProportionalRanges = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanDelay
+	}
+	plain := run(false, 0)
+	adjusted := run(true, 0)
+	split := run(false, 2)
+	if adjusted > plain+1e-9 {
+		t.Errorf("range adjustment should not hurt: %v vs %v", adjusted, plain)
+	}
+	if split > plain+1e-9 {
+		t.Errorf("splitting should not hurt at low load: %v vs %v", split, plain)
+	}
+	if adjusted == plain && split == plain {
+		t.Error("at high heterogeneity at least one mechanism should change the outcome")
+	}
+}
+
+func TestRandSchedulerWorseOrEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	speeds := workload.LogNormalSpeeds(24, 1, 0.6, rng)
+	run := func(tries int) float64 {
+		cfg := baseConfig(ROAR)
+		cfg.Speeds = speeds
+		cfg.RandTries = tries
+		cfg.ProportionalRanges = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanDelay
+	}
+	alg1 := run(0)
+	rand1 := run(1)
+	if alg1 > rand1+1e-9 {
+		t.Errorf("Algorithm 1 (%v) must not lose to 1 random try (%v)", alg1, rand1)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := baseConfig(ROAR)
+	cfg.P = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("p=0 rejected")
+	}
+	cfg = baseConfig(ROAR)
+	cfg.Speeds = cfg.Speeds[:3]
+	if _, err := Run(cfg); err == nil {
+		t.Error("speed length mismatch rejected")
+	}
+	cfg = baseConfig(ROAR)
+	cfg.PQ = 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("pq<p rejected")
+	}
+	cfg = baseConfig(SW)
+	cfg.N = 23 // p does not divide n
+	cfg.Speeds = workload.UniformSpeeds(23, 1)
+	if _, err := Run(cfg); err == nil {
+		t.Error("SW with p∤n rejected")
+	}
+}
+
+func TestUnavailabilityMonotone(t *testing.T) {
+	cfg := AvailabilityConfig{Algo: ROAR, N: 24, P: 4, Trials: 2000, Seed: 1}
+	prev := -1.0
+	for _, k := range []int{0, 6, 12, 18, 24} {
+		u, err := Unavailability(cfg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < prev-0.02 {
+			t.Errorf("unavailability should grow with failures: k=%d u=%v prev=%v", k, u, prev)
+		}
+		prev = u
+	}
+	if u, _ := Unavailability(cfg, 0); u != 0 {
+		t.Errorf("no failures => no loss, got %v", u)
+	}
+	if u, _ := Unavailability(cfg, 24); u != 1 {
+		t.Errorf("all failed => certain loss, got %v", u)
+	}
+}
+
+func TestUnavailabilityOrdering(t *testing.T) {
+	// At moderate failure counts: SW loses data most easily (any r-run),
+	// ROAR needs a strictly longer run, two rings and PTN are hardest to
+	// kill. We check SW >= ROAR >= ROAR2 at a mid point.
+	k := 8
+	get := func(algo Algo) float64 {
+		u, err := Unavailability(AvailabilityConfig{Algo: algo, N: 24, P: 8, Trials: 6000, Seed: 2}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	uSW, uROAR, uROAR2 := get(SW), get(ROAR), get(ROAR2)
+	if uROAR > uSW+0.02 {
+		t.Errorf("ROAR unavailability %v should not exceed SW %v", uROAR, uSW)
+	}
+	if uROAR2 > uROAR+0.02 {
+		t.Errorf("two rings %v should not be worse than one %v", uROAR2, uROAR)
+	}
+}
+
+func TestUnavailabilityValidation(t *testing.T) {
+	if _, err := Unavailability(AvailabilityConfig{Algo: ROAR, N: 0, P: 1}, 0); err == nil {
+		t.Error("bad N rejected")
+	}
+	if _, err := Unavailability(AvailabilityConfig{Algo: ROAR, N: 4, P: 2, Trials: 10}, 9); err == nil {
+		t.Error("failures > n rejected")
+	}
+	if _, err := Unavailability(AvailabilityConfig{Algo: OPT, N: 4, P: 2, Trials: 10}, 1); err == nil {
+		t.Error("OPT availability undefined")
+	}
+}
+
+func TestMessageCosts(t *testing.T) {
+	rows, err := MessageCosts(40, 8, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	store := rows[0]
+	if store.RAND <= store.PTN {
+		t.Errorf("RAND store cost %v should exceed PTN %v (c=2 overprovisioning)", store.RAND, store.PTN)
+	}
+	query := rows[1]
+	if query.ROAR != 8 || query.PTN != 8 {
+		t.Errorf("query cost should equal p=8: %+v", query)
+	}
+	incR := rows[2]
+	if incR.PTN <= incR.ROAR {
+		t.Errorf("PTN reconfiguration %v must cost more than ROAR %v", incR.PTN, incR.ROAR)
+	}
+	decR := rows[3]
+	if decR.ROAR != 0 || decR.SW != 0 {
+		t.Errorf("decreasing r should be free for ROAR/SW: %+v", decR)
+	}
+	if _, err := MessageCosts(0, 1, 1); err == nil {
+		t.Error("bad n rejected")
+	}
+}
+
+func TestReconfigurationCost(t *testing.T) {
+	roarF, ptnF, err := ReconfigurationCost(40, 8, 4) // r: 5 -> 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(roarF-5) > 1e-9 {
+		t.Errorf("ROAR transfer = %v copies/object, want 5", roarF)
+	}
+	if ptnF <= roarF/float64(40) {
+		t.Errorf("PTN fraction %v suspiciously small", ptnF)
+	}
+	// Shrinking replication is free for ROAR.
+	roarF, _, err = ReconfigurationCost(40, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roarF != 0 {
+		t.Errorf("shrinking r should be free for ROAR, got %v", roarF)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	for _, a := range []Algo{ROAR, ROAR2, PTN, SW, RAND, OPT} {
+		if a.String() == "" {
+			t.Error("algo should render")
+		}
+	}
+	if Algo(99).String() == "" {
+		t.Error("unknown algo should render")
+	}
+}

@@ -1,0 +1,325 @@
+// Package stats provides the small statistical toolkit used across the
+// ROAR codebase: exponentially weighted moving averages for server-speed
+// estimation, percentile summaries for delay reporting, fixed-bin
+// histograms for CDF plots, and least-squares linear fits used by the
+// simulator's queue-explosion detector (§6.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// unusable; construct with NewEWMA. EWMA is safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weights recent observations more heavily. The front-end uses
+// alpha ≈ 0.1 for server-speed estimates, averaging over many queries to
+// avoid the oscillations §4.8.3 warns about.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new sample into the average.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value, e.init = x, true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average and whether any sample was observed.
+func (e *EWMA) Value() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value, e.init
+}
+
+// Set forces the average to x (used to seed speed estimates).
+func (e *EWMA) Set(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.value, e.init = x, true
+}
+
+// Sample accumulates float64 observations and answers summary queries.
+// It keeps all samples; experiments here are bounded (≤ millions of
+// points) so this is simpler and exact. Not safe for concurrent use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// NewSample returns an empty sample, optionally pre-allocating capacity.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sum += x
+	s.sorted = false
+}
+
+// AddAll records many observations.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Variance returns the population variance.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, x := range s.xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(n)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the q-th percentile (q in [0, 100]) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 100 {
+		return s.xs[n-1]
+	}
+	pos := q / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Summary is a compact printable digest of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	Stddev         float64
+}
+
+// Summarize computes the standard digest.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		P50:    s.Percentile(50),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		Stddev: s.Stddev(),
+	}
+}
+
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g sd=%.4g",
+		sm.N, sm.Mean, sm.P50, sm.P90, sm.P99, sm.Min, sm.Max, sm.Stddev)
+}
+
+// CDF returns (x, F(x)) pairs at each distinct observation, suitable for
+// plotting delay distributions (Figs 7.8, 7.14).
+func (s *Sample) CDF() (xs, fs []float64) {
+	n := len(s.xs)
+	if n == 0 {
+		return nil, nil
+	}
+	s.ensureSorted()
+	xs = make([]float64, 0, n)
+	fs = make([]float64, 0, n)
+	for i, x := range s.xs {
+		if i+1 < n && s.xs[i+1] == x {
+			continue // emit only the last of a run of equal values
+		}
+		xs = append(xs, x)
+		fs = append(fs, float64(i+1)/float64(n))
+	}
+	return xs, fs
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+// The simulator fits delay(arrivalTime) and declares the system
+// overloaded when the slope exceeds a threshold (§6.1: slope > 0.1).
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("stats: LinearFit length mismatch %d vs %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0, 0, fmt.Errorf("stats: LinearFit needs >= 2 points, got %d", len(x))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: LinearFit degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); samples out of
+// range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// String renders a small ASCII sparkline, handy in bench output.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty)"
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, c := range h.Counts {
+		g := 0
+		if max > 0 {
+			g = c * (len(glyphs) - 1) / max
+		}
+		b.WriteRune(glyphs[g])
+	}
+	return b.String()
+}
+
+// LoadImbalance implements Definition 3: the ratio of the maximum
+// per-server load to the mean. 1 is perfect balance; n is total skew.
+func LoadImbalance(assigned []float64) float64 {
+	if len(assigned) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, a := range assigned {
+		sum += a
+		if a > max {
+			max = a
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(assigned)))
+}

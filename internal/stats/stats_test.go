@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Error("fresh EWMA should report no value")
+	}
+	e.Observe(10)
+	if v, ok := e.Value(); !ok || v != 10 {
+		t.Errorf("first observation should seed value, got %v %v", v, ok)
+	}
+	e.Observe(20)
+	if v, _ := e.Value(); math.Abs(v-15) > 1e-12 {
+		t.Errorf("EWMA(0.5) after 10,20 = %v, want 15", v)
+	}
+	e.Set(100)
+	if v, _ := e.Value(); v != 100 {
+		t.Errorf("Set should override, got %v", v)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEWMA(0) should panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.1)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				e.Observe(float64(i))
+				e.Value()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.Min() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample should answer zeros")
+	}
+	s.AddAll([]float64{4, 1, 3, 2, 5})
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	if math.Abs(s.Variance()-2) > 1e-12 {
+		t.Errorf("Variance = %v, want 2", s.Variance())
+	}
+}
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	s := NewSample(0)
+	s.Add(10)
+	_ = s.Median() // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Error("Add after a query must re-sort")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := NewSample(len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 5 {
+			v := s.Percentile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{1, 2, 2, 3})
+	xs, fs := s.CDF()
+	if len(xs) != 3 {
+		t.Fatalf("CDF xs = %v", xs)
+	}
+	if xs[1] != 2 || math.Abs(fs[1]-0.75) > 1e-12 {
+		t.Errorf("CDF at 2 = %v, want 0.75", fs[1])
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("CDF must end at 1, got %v", fs[len(fs)-1])
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 {
+		t.Errorf("fit = %v, %v; want 2, 1", slope, intercept)
+	}
+	if _, _, err := LinearFit(x, y[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x, y []float64
+	for i := 0; i < 1000; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 0.5*xi+3+rng.NormFloat64())
+	}
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-0.5) > 0.01 || math.Abs(intercept-3) > 1 {
+		t.Errorf("noisy fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bin %d = %d, want 10", i, c)
+		}
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Error("clamping failed")
+	}
+	if h.Total() != 102 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if h.String() == "" {
+		t.Error("sparkline should render")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	if lb := LoadImbalance([]float64{1, 1, 1, 1}); lb != 1 {
+		t.Errorf("even load lb = %v, want 1", lb)
+	}
+	if lb := LoadImbalance([]float64{4, 0, 0, 0}); lb != 4 {
+		t.Errorf("all-on-one lb = %v, want n=4", lb)
+	}
+	if lb := LoadImbalance(nil); lb != 0 {
+		t.Errorf("empty lb = %v", lb)
+	}
+	if lb := LoadImbalance([]float64{0, 0}); lb != 1 {
+		t.Errorf("zero-load lb = %v, want 1", lb)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{1, 2, 3})
+	if got := s.Summarize().String(); got == "" {
+		t.Error("summary should render")
+	}
+}

@@ -1,0 +1,289 @@
+// Package store implements the metadata store of §5.6: encrypted
+// metadata records sorted by identifier, with partial range access (for
+// sub-queries that match only a slice of the id space), wrap-aware range
+// iteration, and the producer/consumer matching pipeline that decouples
+// I/O from CPU-bound matching (§5.6.3).
+//
+// Object identifiers are uint64; their position on the ROAR ring is the
+// id scaled into [0, 1). Records are kept sorted so a sub-query's id arc
+// maps to at most two contiguous slices.
+package store
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"roar/internal/pps"
+	"roar/internal/ring"
+)
+
+// PointOf maps an object identifier to its ring position. The largest
+// identifiers round to 1.0 in float64; they are clamped just below 1 to
+// stay inside [0, 1).
+func PointOf(id uint64) ring.Point {
+	f := float64(id) / math.Exp2(64)
+	if f >= 1 {
+		f = math.Nextafter(1, 0)
+	}
+	return ring.Point(f)
+}
+
+// IDOf maps a ring position to the first identifier at or after it.
+func IDOf(p ring.Point) uint64 {
+	f := float64(p) * math.Exp2(64)
+	if f >= math.Exp2(64) {
+		return math.MaxUint64
+	}
+	return uint64(f)
+}
+
+// Store holds one node's replica set. Safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	recs []pps.Encoded // sorted by ID, unique
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Insert adds or replaces records (replica pushes are idempotent).
+func (s *Store) Insert(recs ...pps.Encoded) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= r.ID })
+		if i < len(s.recs) && s.recs[i].ID == r.ID {
+			s.recs[i] = r
+			continue
+		}
+		s.recs = append(s.recs, pps.Encoded{})
+		copy(s.recs[i+1:], s.recs[i:])
+		s.recs[i] = r
+	}
+}
+
+// Delete removes records by id; absent ids are ignored.
+func (s *Store) Delete(ids ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= id })
+		if i < len(s.recs) && s.recs[i].ID == id {
+			s.recs = append(s.recs[:i], s.recs[i+1:]...)
+		}
+	}
+}
+
+// Get returns the record with the given id.
+func (s *Store) Get(id uint64) (pps.Encoded, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= id })
+	if i < len(s.recs) && s.recs[i].ID == id {
+		return s.recs[i], true
+	}
+	return pps.Encoded{}, false
+}
+
+// InArc returns copies of the records whose ring point lies in the
+// half-open arc (lo, hi] — the match set of a sub-query. The arc may
+// wrap zero, producing at most two contiguous slices internally.
+func (s *Store) InArc(lo, hi ring.Point) []pps.Encoded {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []pps.Encoded
+	s.forArcLocked(lo, hi, func(batch []pps.Encoded) bool {
+		out = append(out, batch...)
+		return true
+	}, 1<<30)
+	return out
+}
+
+// CountArc returns the number of records in (lo, hi].
+func (s *Store) CountArc(lo, hi ring.Point) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	s.forArcLocked(lo, hi, func(batch []pps.Encoded) bool {
+		n += len(batch)
+		return true
+	}, 1<<30)
+	return n
+}
+
+// forArcLocked feeds records with point in (lo, hi] to fn in batches of
+// at most batchSize. lo == hi denotes the full ring (ring.MatchSpan
+// convention). fn returning false stops iteration. Records are passed
+// as sub-slices of the internal array; the caller must hold the read
+// lock for as long as the slices are referenced.
+func (s *Store) forArcLocked(lo, hi ring.Point, fn func([]pps.Encoded) bool, batchSize int) {
+	if len(s.recs) == 0 {
+		return
+	}
+	if ring.MatchSpan(lo, hi) >= 1 {
+		emitFull := func(from, to int) bool {
+			for from < to {
+				end := from + batchSize
+				if end > to {
+					end = to
+				}
+				if !fn(s.recs[from:end]) {
+					return false
+				}
+				from = end
+			}
+			return true
+		}
+		emitFull(0, len(s.recs))
+		return
+	}
+	// (lo, hi] in id space: ids in (IDOf(lo), IDOf(hi)] approximately;
+	// the float conversion is monotone so ordering is preserved.
+	loID, hiID := IDOf(lo), IDOf(hi)
+	emit := func(from, to int) bool { // [from, to) index range
+		for from < to {
+			end := from + batchSize
+			if end > to {
+				end = to
+			}
+			if !fn(s.recs[from:end]) {
+				return false
+			}
+			from = end
+		}
+		return true
+	}
+	idx := func(id uint64) int {
+		return sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID > id })
+	}
+	if loID < hiID {
+		emit(idx(loID), idx(hiID))
+		return
+	}
+	// Wrapping arc: (loID, max] then [0, hiID].
+	if !emit(idx(loID), len(s.recs)) {
+		return
+	}
+	emit(0, idx(hiID))
+}
+
+// RetainStored drops every record outside the node's stored set for the
+// given range and partitioning level (used when p increases and replicas
+// must be dropped, §4.5). It returns the number of deleted records.
+// The stored set of a node with range [start, end) is (start-1/p, end).
+func (s *Store) RetainStored(nodeRange ring.Arc, p int) int {
+	repl := 1 / float64(p)
+	keepLo := nodeRange.Start.Add(-repl)
+	keepHi := nodeRange.End()
+	if nodeRange.Length+repl >= 1 {
+		return 0 // node stores everything
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.recs[:0]
+	dropped := 0
+	for _, r := range s.recs {
+		pt := PointOf(r.ID)
+		d := keepLo.DistCW(pt)
+		if d > 0 && d < keepLo.DistCW(keepHi) {
+			kept = append(kept, r)
+		} else {
+			dropped++
+		}
+	}
+	s.recs = kept
+	return dropped
+}
+
+// MatchOptions tunes the producer/consumer pipeline.
+type MatchOptions struct {
+	// Threads is the number of matching goroutines (§5.6.3: one per
+	// core; Fig 5.5 sweeps this). 0 means 1.
+	Threads int
+	// BatchSize is the records-per-batch handed to matchers (§5.6.3
+	// batches to limit synchronisation). 0 means 256.
+	BatchSize int
+	// Limiter, when set, is invoked by each consumer with the batch
+	// length before matching. The cluster experiments install a
+	// calibrated sleep here to emulate the heterogeneous hardware of
+	// Table 7.1 (see DESIGN.md substitutions).
+	Limiter func(n int)
+}
+
+// MatchArc runs the encrypted query against every record in (lo, hi]
+// using the two-stage pipeline: a producer walks the store feeding a
+// bounded channel while consumer threads match. Returns the ids of
+// matching records and the number scanned.
+func (s *Store) MatchArc(ctx context.Context, m *pps.Matcher, q pps.Query, lo, hi ring.Point, opts MatchOptions) (ids []uint64, scanned int, err error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	type job struct{ recs []pps.Encoded }
+	jobs := make(chan job, 2*threads)
+	var (
+		wg      sync.WaitGroup
+		outMu   sync.Mutex
+		matched []uint64
+		total   int
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := m.NewRun(q) // per-thread dynamic predicate ordering
+			var local []uint64
+			n := 0
+			for j := range jobs {
+				if opts.Limiter != nil {
+					opts.Limiter(len(j.recs))
+				}
+				for i := range j.recs {
+					if run.Match(j.recs[i].BloomMetadata) {
+						local = append(local, j.recs[i].ID)
+					}
+				}
+				n += len(j.recs)
+			}
+			outMu.Lock()
+			matched = append(matched, local...)
+			total += n
+			outMu.Unlock()
+		}()
+	}
+	// The read lock is held until every consumer drains: batches are
+	// views into the backing array and concurrent inserts would shift it.
+	s.mu.RLock()
+	s.forArcLocked(lo, hi, func(recs []pps.Encoded) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case jobs <- job{recs: recs}:
+			return true
+		}
+	}, batch)
+	close(jobs)
+	wg.Wait()
+	s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
+	sort.Slice(matched, func(a, b int) bool { return matched[a] < matched[b] })
+	return matched, total, nil
+}

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"roar/internal/pps"
+	"roar/internal/ring"
+)
+
+func testRecords(t testing.TB, n int) ([]pps.Encoded, *pps.Encoder) {
+	t.Helper()
+	// A slim encoding keeps test corpora cheap to build: encryption cost
+	// itself is covered by the pps package tests.
+	enc := pps.NewEncoder(pps.TestKey(1), pps.EncoderConfig{
+		MaxKeywords: 4,
+		MaxPathDir:  4,
+		SizePoints:  pps.LinearPoints(0, 1000, 8),
+		DateDays:    365,
+		DateSpan:    10,
+		RankBuckets: []int{1},
+	})
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]pps.Encoded, n)
+	for i := range recs {
+		kw := "even"
+		if i%2 == 1 {
+			kw = "odd"
+		}
+		doc := pps.Document{
+			ID:       rng.Uint64(),
+			Path:     "/data/f",
+			Size:     100,
+			Modified: time.Unix(1.2e9, 0),
+			Keywords: []string{kw},
+		}
+		r, err := enc.EncryptDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = r
+	}
+	return recs, enc
+}
+
+func TestPointIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 1 << 32, 1 << 63, math.MaxUint64} {
+		p := PointOf(id)
+		if p < 0 || p >= 1 {
+			t.Fatalf("PointOf(%d) = %v out of [0,1)", id, p)
+		}
+	}
+	// Monotonic: greater ids map to greater-or-equal points.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		if PointOf(a) > PointOf(b) {
+			t.Fatalf("PointOf not monotone at %d, %d", a, b)
+		}
+	}
+	if IDOf(0) != 0 {
+		t.Error("IDOf(0) should be 0")
+	}
+}
+
+func TestInsertSortedUnique(t *testing.T) {
+	s := New()
+	recs, _ := testRecords(t, 100)
+	s.Insert(recs...)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Re-insert is idempotent (replace).
+	s.Insert(recs[:50]...)
+	if s.Len() != 100 {
+		t.Fatalf("re-insert changed Len to %d", s.Len())
+	}
+	// Sorted invariant via InArc over the full circle.
+	all := s.InArc(0.5, 0.5-1e-12)
+	prev := uint64(0)
+	for i, r := range all {
+		if i > 0 && r.ID <= prev && PointOf(r.ID) > 0 {
+			// wrap point resets ordering once; tolerate exactly one reset
+			break
+		}
+		prev = r.ID
+	}
+}
+
+func TestDeleteAndGet(t *testing.T) {
+	s := New()
+	recs, _ := testRecords(t, 20)
+	s.Insert(recs...)
+	if _, ok := s.Get(recs[3].ID); !ok {
+		t.Fatal("Get should find inserted record")
+	}
+	s.Delete(recs[3].ID, recs[7].ID)
+	if s.Len() != 18 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+	if _, ok := s.Get(recs[3].ID); ok {
+		t.Fatal("deleted record still present")
+	}
+	s.Delete(recs[3].ID) // absent: no-op
+	if s.Len() != 18 {
+		t.Fatal("deleting absent id changed Len")
+	}
+}
+
+func TestInArcWrap(t *testing.T) {
+	s := New()
+	// Craft ids at known points: 0.1, 0.5, 0.9.
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		s.Insert(pps.Encoded{ID: IDOf(ring.Point(f))})
+	}
+	got := s.InArc(0.8, 0.2) // wrapping arc (0.8, 0.2]
+	if len(got) != 2 {
+		t.Fatalf("wrap arc matched %d records, want 2 (0.9 and 0.1)", len(got))
+	}
+	if n := s.CountArc(0.8, 0.2); n != 2 {
+		t.Fatalf("CountArc = %d", n)
+	}
+	if n := s.CountArc(0.2, 0.8); n != 1 {
+		t.Fatalf("CountArc(0.2,0.8) = %d, want 1 (0.5)", n)
+	}
+	// lo == hi is the full ring by the MatchSpan convention (pq = 1).
+	if n := s.CountArc(0.3, 0.3); n != 3 {
+		t.Fatalf("full-ring CountArc = %d, want 3", n)
+	}
+}
+
+func TestInArcMatchesRingSemantics(t *testing.T) {
+	s := New()
+	recs, _ := testRecords(t, 300)
+	s.Insert(recs...)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		lo := ring.Norm(rng.Float64())
+		hi := lo.Add(rng.Float64() * 0.3)
+		got := map[uint64]bool{}
+		for _, r := range s.InArc(lo, hi) {
+			got[r.ID] = true
+		}
+		for _, r := range recs {
+			pt := PointOf(r.ID)
+			d := lo.DistCW(pt)
+			want := d > 0 && d <= lo.DistCW(hi)
+			if got[r.ID] != want {
+				t.Fatalf("record at %v in (%v,%v]: got %v want %v", pt, lo, hi, got[r.ID], want)
+			}
+		}
+	}
+}
+
+func TestRetainStored(t *testing.T) {
+	s := New()
+	for f := 0.0; f < 1; f += 0.01 {
+		s.Insert(pps.Encoded{ID: IDOf(ring.Norm(f + 0.001))})
+	}
+	n := s.Len()
+	// Node range [0.5, 0.6), p = 5: stored set (0.3, 0.6) => 30 records.
+	dropped := s.RetainStored(ring.NewArc(0.5, 0.1), 5)
+	if s.Len()+dropped != n {
+		t.Fatalf("dropped %d + kept %d != %d", dropped, s.Len(), n)
+	}
+	if s.Len() < 28 || s.Len() > 32 {
+		t.Errorf("kept %d records, want ~30", s.Len())
+	}
+	// Stored set covering the whole ring drops nothing.
+	s2 := New()
+	s2.Insert(pps.Encoded{ID: 42})
+	if d := s2.RetainStored(ring.NewArc(0, 0.5), 2); d != 0 {
+		t.Errorf("full stored set dropped %d", d)
+	}
+}
+
+func TestMatchArc(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 400)
+	s.Insert(recs...)
+	m, err := pps.NewMatcher(enc.ServerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		ids, scanned, err := s.MatchArc(context.Background(), m, q, 0.5, 0.5-1e-9,
+			MatchOptions{Threads: threads, BatchSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scanned < 399 {
+			t.Errorf("threads=%d scanned %d, want ~400", threads, scanned)
+		}
+		if len(ids) < 190 || len(ids) > 210 {
+			t.Errorf("threads=%d matched %d, want ~200", threads, len(ids))
+		}
+	}
+}
+
+func TestMatchArcPartial(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 400)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	_, scanned, err := s.MatchArc(context.Background(), m, q, 0.0, 0.25, MatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned < 60 || scanned > 140 {
+		t.Errorf("quarter arc scanned %d, want ~100", scanned)
+	}
+}
+
+func TestMatchArcCancellation(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 1000)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.MatchArc(ctx, m, q, 0.5, 0.4999, MatchOptions{}); err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}
+
+func TestMatchArcLimiter(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 200)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	var mu sync.Mutex
+	limited := 0
+	_, scanned, err := s.MatchArc(context.Background(), m, q, 0.5, 0.4999, MatchOptions{
+		BatchSize: 50,
+		Limiter: func(n int) {
+			mu.Lock()
+			limited += n
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited != scanned {
+		t.Errorf("limiter saw %d records, scanned %d", limited, scanned)
+	}
+}
+
+func TestConcurrentInsertAndMatch(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 500)
+	s.Insert(recs[:250]...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, r := range recs[250:] {
+			s.Insert(r)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.MatchArc(context.Background(), m, q, 0.5, 0.4999, MatchOptions{Threads: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d after concurrent inserts", s.Len())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.dat")
+	recs, _ := testRecords(t, 150)
+	if err := SaveFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].ID != recs[i].ID {
+			t.Fatalf("record %d id mismatch", i)
+		}
+	}
+}
+
+func TestStoreSaveToLoadFrom(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.dat")
+	s := New()
+	recs, _ := testRecords(t, 80)
+	s.Insert(recs...)
+	if err := s.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.LoadFrom(path); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 80 {
+		t.Fatalf("loaded store has %d records", s2.Len())
+	}
+}
+
+func TestMatchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.dat")
+	recs, enc := testRecords(t, 400)
+	if err := SaveFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "even"})
+	ids, scanned, err := MatchFile(context.Background(), path, m, q, MatchOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned != 400 {
+		t.Errorf("scanned %d, want 400", scanned)
+	}
+	if len(ids) < 190 || len(ids) > 210 {
+		t.Errorf("matched %d, want ~200", len(ids))
+	}
+	if _, _, err := MatchFile(context.Background(), filepath.Join(dir, "absent"), m, q, MatchOptions{}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func BenchmarkMatchArcInMemory(b *testing.B) {
+	s := New()
+	recs, enc := testRecords(b, 5000)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "nonexistent"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.MatchArc(context.Background(), m, q, 0.5, 0.4999, MatchOptions{Threads: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sw
+
+import (
+	"math"
+	"testing"
+
+	"roar/internal/core"
+	"roar/internal/ring"
+)
+
+func nodeIDs(n int) []ring.NodeID {
+	out := make([]ring.NodeID, n)
+	for i := range out {
+		out[i] = ring.NodeID(i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nodeIDs(12), 5); err == nil {
+		t.Error("r not dividing n should be rejected")
+	}
+	if _, err := New(nodeIDs(12), 0); err == nil {
+		t.Error("r=0 should be rejected")
+	}
+	s, err := New(nodeIDs(12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P() != 4 || s.R() != 3 || s.N() != 12 {
+		t.Errorf("P=%d R=%d N=%d", s.P(), s.R(), s.N())
+	}
+}
+
+func TestReplicasWindow(t *testing.T) {
+	s, _ := New(nodeIDs(12), 3)
+	got := s.Replicas(10) // nodes 10, 11, 0
+	want := []ring.NodeID{10, 11, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Replicas(10) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueryCoverage: for any slot and any offset, the query built from
+// that offset must visit at least one replica of the slot.
+func TestQueryCoverage(t *testing.T) {
+	s, _ := New(nodeIDs(12), 3)
+	for slot := 0; slot < 12; slot++ {
+		replicas := map[ring.NodeID]bool{}
+		for _, id := range s.Replicas(slot) {
+			replicas[id] = true
+		}
+		for off := 0; off < s.R(); off++ {
+			hit := false
+			for i := 0; i < s.P(); i++ {
+				if replicas[s.nodes[(off+i*s.R())%12]] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("slot %d offset %d: query misses all replicas", slot, off)
+			}
+		}
+	}
+}
+
+func TestSchedulePicksBestOffset(t *testing.T) {
+	s, _ := New(nodeIDs(6), 3) // p=2, offsets 0,1,2
+	speeds := map[ring.NodeID]float64{0: 1, 1: 10, 2: 1, 3: 1, 4: 10, 5: 1}
+	est := core.EstimatorFunc(func(id ring.NodeID, size float64) float64 {
+		return size / speeds[id]
+	})
+	plan, err := s.Schedule(est, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 1 uses nodes 1 and 4, both fast.
+	if plan.Offset != 1 {
+		t.Errorf("picked offset %d, want 1", plan.Offset)
+	}
+	if math.Abs(plan.Delay-0.05) > 1e-12 {
+		t.Errorf("delay = %v, want 0.05", plan.Delay)
+	}
+}
+
+func TestScheduleFailedBlocksOffsets(t *testing.T) {
+	s, _ := New(nodeIDs(6), 3)
+	est := core.EstimatorFunc(func(id ring.NodeID, size float64) float64 { return size })
+	plan, err := s.Schedule(est, map[ring.NodeID]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Subs {
+		if a.Node == 1 {
+			t.Error("plan uses failed node")
+		}
+	}
+	// Fail one node in every offset class: 0, 1, 2 kill all offsets
+	// (offset k uses nodes k and k+3).
+	if _, err := s.Schedule(est, map[ring.NodeID]bool{0: true, 1: true, 2: true}); err == nil {
+		t.Error("all offsets blocked should error")
+	}
+}
+
+func TestChangeR(t *testing.T) {
+	s, _ := New(nodeIDs(12), 3)
+	moved, err := s.ChangeR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 1 {
+		t.Errorf("growing r by 1 should transfer one full copy, got %v", moved)
+	}
+	if s.R() != 4 || s.P() != 3 {
+		t.Errorf("after change R=%d P=%d", s.R(), s.P())
+	}
+	moved, err = s.ChangeR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("shrinking r transfers nothing, got %v", moved)
+	}
+	if _, err := s.ChangeR(5); err == nil {
+		t.Error("r not dividing n should be rejected")
+	}
+}
+
+func TestChoices(t *testing.T) {
+	s, _ := New(nodeIDs(12), 3)
+	if s.Choices() != 3 {
+		t.Errorf("SW choices = %v, want r=3", s.Choices())
+	}
+}

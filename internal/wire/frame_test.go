@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrameRoundTripQuick: any frame content survives write/read.
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(id uint64, typ string, errStr string, body []byte) bool {
+		in := frame{ID: id, Type: typ, Err: errStr}
+		if body != nil {
+			b, err := json.Marshal(string(body))
+			if err != nil {
+				return true
+			}
+			in.Body = b
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &in); err != nil {
+			return false
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Type == in.Type && out.Err == in.Err &&
+			bytes.Equal(out.Body, in.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("oversize frame must be rejected before allocation")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("truncated body must error")
+	}
+}
+
+func TestReadFrameGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("garbage JSON must error")
+	}
+}

@@ -1,0 +1,352 @@
+// Package wire is the RPC substrate of the ROAR cluster: length-prefixed
+// JSON messages over TCP, with request/response multiplexing on a single
+// connection per peer pair.
+//
+// §4.8.4 discusses the transport choice: TCP for reliability, with the
+// observation that data-center RPCs are application-limited and must not
+// head-of-line block the scheduler. We multiplex concurrent requests by
+// id on one connection (so one slow response never blocks dispatching
+// new sub-queries) and give every call its own deadline; a timed-out
+// call returns promptly to the caller while the connection survives.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrame bounds a single message (16 MiB) to fail fast on corruption.
+const MaxFrame = 16 << 20
+
+// frame is the on-the-wire envelope.
+type frame struct {
+	ID   uint64          `json:"id"`             // request id (response echoes it)
+	Type string          `json:"type"`           // method name; empty on responses
+	Err  string          `json:"err,omitempty"`  // error text on responses
+	Body json.RawMessage `json:"body,omitempty"` // method-specific payload
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("wire: encoding frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	return &f, nil
+}
+
+// Handler serves one request. Returning an error sends it to the caller
+// as a call failure; the connection stays up.
+type Handler func(ctx context.Context, method string, body json.RawMessage) (interface{}, error)
+
+// Server accepts connections and dispatches requests to a Handler.
+// Requests on one connection are served concurrently, matching the
+// node's need to overlap long matching work with management traffic.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var wmu sync.Mutex // serialises response frames
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		go func(req *frame) {
+			resp := frame{ID: req.ID}
+			out, err := s.handler(ctx, req.Type, req.Body)
+			if err != nil {
+				resp.Err = err.Error()
+			} else if out != nil {
+				b, err := json.Marshal(out)
+				if err != nil {
+					resp.Err = fmt.Sprintf("wire: encoding response: %v", err)
+				} else {
+					resp.Body = b
+				}
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeFrame(conn, &resp)
+		}(f)
+	}
+}
+
+// Client is a multiplexing RPC client for one remote server. Safe for
+// concurrent use; a broken connection is redialled on the next call.
+type Client struct {
+	addr    string
+	dialTO  time.Duration
+	nextID  atomic.Uint64
+	mu      sync.Mutex // guards conn establishment and writes
+	conn    net.Conn
+	pending map[uint64]chan *frame
+	pmu     sync.Mutex
+	closed  atomic.Bool
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("wire: client closed")
+
+// NewClient returns a lazy client; the connection opens on first Call.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, dialTO: 5 * time.Second, pending: make(map[uint64]chan *frame)}
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) ensureConn() (net.Conn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return conn, nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.failAll(err)
+			c.mu.Lock()
+			if c.conn == conn {
+				c.conn = nil
+			}
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for id, ch := range c.pending {
+		ch <- &frame{ID: id, Err: fmt.Sprintf("wire: connection lost: %v", err)}
+		delete(c.pending, id)
+	}
+}
+
+// Call sends a request and decodes the response into out (which may be
+// nil to discard). It honours ctx cancellation/deadline without tearing
+// down the shared connection.
+func (c *Client) Call(ctx context.Context, method string, in, out interface{}) error {
+	conn, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+	id := c.nextID.Add(1)
+	req := frame{ID: id, Type: method}
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("wire: encoding %s request: %w", method, err)
+		}
+		req.Body = b
+	}
+	ch := make(chan *frame, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.mu.Lock()
+	werr := writeFrame(conn, &req)
+	c.mu.Unlock()
+	if werr != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		// Drop the broken connection so the next call redials.
+		c.mu.Lock()
+		if c.conn == conn {
+			c.conn = nil
+		}
+		c.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("wire: sending %s: %w", method, werr)
+	}
+
+	select {
+	case <-ctx.Done():
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return ctx.Err()
+	case f := <-ch:
+		if f.Err != "" {
+			return fmt.Errorf("wire: %s: %s", method, f.Err)
+		}
+		if out != nil && len(f.Body) > 0 {
+			if err := json.Unmarshal(f.Body, out); err != nil {
+				return fmt.Errorf("wire: decoding %s response: %w", method, err)
+			}
+		}
+		return nil
+	}
+}
+
+// Dispatcher routes methods to typed handlers; a convenience for
+// building servers.
+type Dispatcher struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler for a method name.
+func (d *Dispatcher) Register(method string, h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handlers[method] = h
+}
+
+// Handle implements the server Handler signature.
+func (d *Dispatcher) Handle(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+	d.mu.RLock()
+	h, ok := d.handlers[method]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown method %q", method)
+	}
+	return h(ctx, method, body)
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoReq struct {
+	Msg   string `json:"msg"`
+	Sleep int    `json:"sleep_ms"`
+}
+
+type echoResp struct {
+	Msg string `json:"msg"`
+}
+
+func startEcho(t *testing.T) (*Server, string) {
+	t.Helper()
+	d := NewDispatcher()
+	d.Register("echo", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Sleep > 0 {
+			time.Sleep(time.Duration(req.Sleep) * time.Millisecond)
+		}
+		return echoResp{Msg: req.Msg}, nil
+	})
+	d.Register("fail", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	s, err := Serve("127.0.0.1:0", d.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, s.Addr()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	var resp echoResp
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "hello"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "hello" {
+		t.Errorf("echo = %q", resp.Msg)
+	}
+}
+
+func TestCallError(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	err := c.Call(context.Background(), "fail", nil, nil)
+	if err == nil {
+		t.Fatal("expected handler error")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Call(context.Background(), "nope", nil, nil); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp echoResp
+			msg := fmt.Sprintf("m%d", i)
+			if err := c.Call(context.Background(), "echo", echoReq{Msg: msg}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.Msg != msg {
+				errs <- fmt.Errorf("cross-talk: got %q want %q", resp.Msg, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestNoHeadOfLineBlocking: a slow request must not delay a fast one on
+// the same connection — the §4.8.4 requirement the multiplexing design
+// addresses.
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	slow := make(chan error, 1)
+	go func() {
+		slow <- c.Call(context.Background(), "echo", echoReq{Msg: "slow", Sleep: 300}, nil)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the slow call get on the wire
+	start := time.Now()
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "fast"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Errorf("fast call took %v behind a slow one; head-of-line blocked", d)
+	}
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := c.Call(ctx, "echo", echoReq{Msg: "x", Sleep: 500}, nil)
+	if err == nil {
+		t.Fatal("expected deadline exceeded")
+	}
+	// The connection must survive: a subsequent call works.
+	var resp echoResp
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "after"}, &resp); err != nil {
+		t.Fatalf("connection unusable after timeout: %v", err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, nil); err == nil {
+		t.Error("call after server close should fail")
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "y"}, nil); err == nil {
+		t.Error("call on closed client should fail")
+	}
+}
+
+func TestClientRedial(t *testing.T) {
+	s, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server-side connections; the client should redial on the
+	// next call against a new server on the same address.
+	s.Close()
+	d := NewDispatcher()
+	d.Register("echo", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+		return echoResp{Msg: "redialled"}, nil
+	})
+	s2, err := Serve(addr, d.Handle)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer s2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var resp echoResp
+		err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, &resp)
+		if err == nil && resp.Msg == "redialled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("redial never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBadFrameRejected(t *testing.T) {
+	var f frame
+	f.Type = "x"
+	// Frame larger than the limit is rejected on write.
+	f.Body = json.RawMessage(`"` + string(make([]byte, 0)) + `"`)
+	if err := writeFrame(discard{}, &f); err != nil {
+		t.Fatalf("small frame should write: %v", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

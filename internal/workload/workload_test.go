@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPoisson(100, rng) // 100 events/s => mean gap 10ms
+	var total float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.NextSeconds()
+	}
+	mean := total / n
+	if math.Abs(mean-0.01) > 0.001 {
+		t.Errorf("mean gap = %v, want ~0.01", mean)
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPoisson(0) should panic")
+		}
+	}()
+	NewPoisson(0, rand.New(rand.NewSource(1)))
+}
+
+func TestPoissonDurations(t *testing.T) {
+	p := NewPoisson(1000, rand.New(rand.NewSource(2)))
+	for i := 0; i < 100; i++ {
+		if d := p.Next(); d < 0 {
+			t.Fatalf("negative gap %v", d)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(1000, 1.2, rng)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[500]*5 {
+		t.Errorf("rank 0 (%d) should dominate rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func TestZipfLowExponentClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := NewZipf(100, 0.5, rng) // must not panic despite s <= 1
+	for i := 0; i < 100; i++ {
+		if r := z.Draw(); r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestCorpusGenerate(t *testing.T) {
+	c := NewCorpus(2000, 7)
+	files := c.Generate(500)
+	if len(files) != 500 {
+		t.Fatalf("got %d files", len(files))
+	}
+	for i, f := range files {
+		if f.Path == "" || f.Size <= 0 {
+			t.Fatalf("file %d malformed: %+v", i, f)
+		}
+		if len(f.Keywords) < 5 || len(f.Keywords) > 50 {
+			t.Fatalf("file %d keyword count %d out of [5,50]", i, len(f.Keywords))
+		}
+		seen := map[string]bool{}
+		for _, k := range f.Keywords {
+			if seen[k] {
+				t.Fatalf("file %d has duplicate keyword %q", i, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := NewCorpus(1000, 42).Generate(50)
+	b := NewCorpus(1000, 42).Generate(50)
+	for i := range a {
+		if a[i].Path != b[i].Path || a[i].Size != b[i].Size {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRareWordIsFromTail(t *testing.T) {
+	c := NewCorpus(100, 9)
+	for i := 0; i < 50; i++ {
+		w := c.RareWord() // words look like w00042
+		idx, err := strconv.Atoi(w[1:])
+		if err != nil {
+			t.Fatalf("unexpected word %q: %v", w, err)
+		}
+		if idx < 50 {
+			t.Fatalf("rare word %q from popular half", w)
+		}
+	}
+}
+
+func TestHenFleetMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fleet := HenFleet(1000, rng)
+	counts := map[string]int{}
+	for _, m := range fleet {
+		counts[m.Name]++
+	}
+	if counts["Dell 1950"] < 400 {
+		t.Errorf("Dell 1950 should dominate the fleet, got %v", counts)
+	}
+	if len(counts) != 4 {
+		t.Errorf("expected all 4 models present at n=1000, got %v", counts)
+	}
+}
+
+func TestUniformSpeeds(t *testing.T) {
+	s := UniformSpeeds(5, 100)
+	for _, v := range s {
+		if v != 100 {
+			t.Fatal("uniform speeds must be equal")
+		}
+	}
+}
+
+func TestLogNormalSpeedsMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := LogNormalSpeeds(10001, 1000, 0.5, rng)
+	// Median of samples should be near the requested median.
+	cp := append([]float64(nil), s...)
+	sort.Float64s(cp)
+	med := cp[len(cp)/2]
+	if med < 900 || med > 1100 {
+		t.Errorf("median = %v, want ~1000", med)
+	}
+	for _, v := range s {
+		if v <= 0 {
+			t.Fatal("speeds must be positive")
+		}
+	}
+}
+
+func TestPerturbSpeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := UniformSpeeds(1000, 100)
+	pert := PerturbSpeeds(base, 0.3, rng)
+	for i, v := range pert {
+		if v < 100*0.69 || v > 100*1.31 {
+			t.Fatalf("perturbed speed %d = %v outside ±30%%", i, v)
+		}
+	}
+	// Zero error must be the identity.
+	same := PerturbSpeeds(base, 0, rng)
+	for i, v := range same {
+		if v != base[i] {
+			t.Fatal("zero perturbation must not change speeds")
+		}
+	}
+}
