@@ -13,6 +13,11 @@
 // Search through a frontend:
 //
 //	pps-client -keyseed 1 -frontend 127.0.0.1:8000 -keyword w00012
+//
+// Drive load (64 concurrent clients, 1000 queries, 4 pooled conns):
+//
+//	pps-client -keyseed 1 -frontend 127.0.0.1:8000 -keyword w00012 \
+//	    -count 1000 -concurrency 64 -pool 4
 package main
 
 import (
@@ -21,6 +26,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"roar/internal/pps"
@@ -41,6 +49,9 @@ func main() {
 		keyword  = flag.String("keyword", "", "content keyword to search")
 		path     = flag.String("path", "", "path component to search")
 		sizeOver = flag.Float64("size-over", 0, "match files larger than this")
+		count    = flag.Int("count", 1, "number of queries to issue")
+		conc     = flag.Int("concurrency", 1, "concurrent in-flight queries")
+		pool     = flag.Int("pool", 1, "TCP connections to the frontend")
 	)
 	flag.Parse()
 
@@ -76,7 +87,11 @@ func main() {
 		if len(preds) == 0 {
 			fatal(fmt.Errorf("no predicates; use -keyword/-path/-size-over"))
 		}
-		if err := search(enc, *fe, preds); err != nil {
+		if *count > 1 || *conc > 1 {
+			if err := loadTest(enc, *fe, preds, *count, *conc, *pool); err != nil {
+				fatal(err)
+			}
+		} else if err := search(enc, *fe, preds); err != nil {
 			fatal(err)
 		}
 	default:
@@ -131,6 +146,78 @@ func search(enc *pps.Encoder, addr string, preds []pps.Predicate) error {
 		}
 		fmt.Printf("  %d\n", id)
 	}
+	return nil
+}
+
+// loadTest issues count queries with conc concurrent workers over a
+// pooled connection and reports throughput and the delay distribution —
+// the client-side view of the frontend's execution pipeline.
+func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc, pool int) error {
+	q, err := enc.EncryptQuery(pps.And, preds...)
+	if err != nil {
+		return err
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	cl := wire.NewClientWithConfig(addr, wire.ClientConfig{PoolSize: pool})
+	defer cl.Close()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		delays   []float64
+		firstErr error
+		failed   atomic.Bool
+		next     = make(chan struct{}, count)
+	)
+	for i := 0; i < count; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				if failed.Load() {
+					return // abandon the backlog after the first error
+				}
+				var resp proto.FEQueryResp
+				t0 := time.Now()
+				err := cl.Call(context.Background(), proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				delays = append(delays, time.Since(t0).Seconds())
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	wall := time.Since(start).Seconds()
+	if len(delays) == 0 {
+		return fmt.Errorf("no queries issued; -count must be positive")
+	}
+	sort.Float64s(delays)
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(delays)-1))
+		return time.Duration(delays[i] * float64(time.Second))
+	}
+	fmt.Printf("%d queries, %d workers, pool %d: %.1f q/s\n",
+		len(delays), conc, pool, float64(len(delays))/wall)
+	fmt.Printf("delay p50 %v  p90 %v  p99 %v\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond))
 	return nil
 }
 

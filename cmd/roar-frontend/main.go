@@ -23,16 +23,24 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8000", "address to serve on")
-		member = flag.String("member", "127.0.0.1:7000", "membership server address")
-		pq     = flag.Int("pq", 0, "query partitioning level override (0 = view p)")
-		adjust = flag.Bool("adjust", true, "enable range adjustment (§4.8.2)")
-		splits = flag.Int("splits", 0, "max slow-sub-query splits per query")
-		poll   = flag.Duration("poll", time.Second, "view poll interval")
+		listen   = flag.String("listen", "127.0.0.1:8000", "address to serve on")
+		member   = flag.String("member", "127.0.0.1:7000", "membership server address")
+		pq       = flag.Int("pq", 0, "query partitioning level override (0 = view p)")
+		adjust   = flag.Bool("adjust", true, "enable range adjustment (§4.8.2)")
+		splits   = flag.Int("splits", 0, "max slow-sub-query splits per query")
+		poll     = flag.Duration("poll", time.Second, "view poll interval")
+		pool     = flag.Int("pool", 2, "wire connections per node (view tuning overrides)")
+		inflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = unlimited)")
+		workers  = flag.Int("dispatch-workers", 0, "max concurrent sub-query RPCs (0 = unlimited)")
+		queueTO  = flag.Duration("queue-timeout", 0, "admission queue wait limit (0 = caller context)")
 	)
 	flag.Parse()
 
-	fe := frontend.New(frontend.Config{PQ: *pq, RangeAdjust: *adjust, MaxSplits: *splits})
+	fe := frontend.New(frontend.Config{
+		PQ: *pq, RangeAdjust: *adjust, MaxSplits: *splits,
+		PoolSize: *pool, MaxInFlight: *inflight,
+		DispatchWorkers: *workers, QueueTimeout: *queueTO,
+	})
 	defer fe.Close()
 	mcl := wire.NewClient(*member)
 	defer mcl.Close()
@@ -84,7 +92,10 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return proto.FEQueryResp{IDs: res.IDs, DelayNanos: int64(res.Delay), SubQueries: res.SubQueries}, nil
+		return proto.FEQueryResp{
+			IDs: res.IDs, DelayNanos: int64(res.Delay), QueueNanos: int64(res.Queue),
+			SubQueries: res.SubQueries, Failures: res.Failures,
+		}, nil
 	})
 	srv, err := wire.Serve(*listen, d.Handle)
 	if err != nil {

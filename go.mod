@@ -1,0 +1,3 @@
+module roar
+
+go 1.24

@@ -81,6 +81,9 @@ func TestTableRendering(t *testing.T) {
 // TestFig61Shape pins the paper's headline ordering: delay decreases
 // with p and SW is never better than ROAR at the largest p.
 func TestFig61Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator sweep is not short")
+	}
 	tab, err := fig61(true)
 	if err != nil {
 		t.Fatal(err)

@@ -640,11 +640,12 @@ func fig711(quick bool) (Table, error) {
 			fms(time.Duration(s.P90*float64(time.Second))),
 			fmt.Sprintf("%.1f%%", s.Mean/total*100))
 	}
+	row("queue", bd.Queue)
 	row("scheduling", bd.Schedule)
 	row("dispatch+match", bd.Dispatch)
 	row("merge", bd.Merge)
 	row("total", bd.Total)
-	t.Notes = "dispatch (network + remote matching) dominates; scheduling is a small slice (paper Fig 7.11)"
+	t.Notes = "dispatch (network + remote matching) dominates; scheduling, admission queueing and merge are small slices (paper Fig 7.11)"
 	return t, nil
 }
 

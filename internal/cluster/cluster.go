@@ -42,6 +42,10 @@ type Options struct {
 	SpeedHints []float64
 
 	Frontend frontend.Config
+	// Tuning, when set, is distributed through the membership view so
+	// the frontend's execution pipeline is configured the way a real
+	// deployment would be: centrally, not per process.
+	Tuning *proto.Tuning
 	// Encoder overrides the PPS encoding (zero value = slim test
 	// encoding; use pps.EncoderConfig{} semantics via FullEncoding).
 	Encoder *pps.EncoderConfig
@@ -94,7 +98,7 @@ func Start(opts Options) (*Cluster, error) {
 	// material, and a shared key lets callers reuse encrypted corpora.
 	enc := pps.NewEncoder(pps.TestKey(1), encCfg)
 
-	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P})
+	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P, Tuning: opts.Tuning})
 	if err != nil {
 		return nil, err
 	}

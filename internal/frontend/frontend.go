@@ -1,17 +1,21 @@
 // Package frontend implements the ROAR front-end server (§4.8): it
-// receives client queries, splits them into sub-queries with the
-// Algorithm 1 scheduler, dispatches them over TCP, detects node failures
-// through per-sub-query timers, re-dispatches around failures with the
-// §4.4 fallback, merges and deduplicates results, and maintains
-// per-server processing-speed EWMAs from observed completions.
+// receives client queries, admits them through a bounded in-flight
+// window, splits them into sub-queries with the Algorithm 1 scheduler,
+// dispatches them over pooled TCP connections through a bounded worker
+// pool, detects node failures through per-sub-query timers,
+// re-dispatches around failures with the §4.4 fallback, merges and
+// deduplicates results incrementally as sub-responses stream in, and
+// maintains per-server processing-speed EWMAs from observed completions.
 package frontend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roar/internal/core"
@@ -40,12 +44,32 @@ type Config struct {
 	InitialSpeed float64
 	// Seed for the failure-fallback randomness.
 	Seed int64
+
+	// PoolSize is the per-node wire connection pool width (default 1).
+	// Larger pools keep sub-query writes from serialising behind one
+	// connection at high query concurrency.
+	PoolSize int
+	// MaxInFlight caps concurrently executing queries (admission
+	// control). Excess Execute calls queue until a slot frees, their
+	// context ends, or QueueTimeout elapses. 0 = unlimited.
+	MaxInFlight int
+	// QueueTimeout bounds the admission wait when MaxInFlight is set;
+	// 0 waits as long as the caller's context allows.
+	QueueTimeout time.Duration
+	// DispatchWorkers bounds concurrent sub-query RPCs across all
+	// in-flight queries (shared dispatch worker pool). 0 = unlimited.
+	DispatchWorkers int
 }
+
+// ErrOverloaded is returned when a query waits longer than QueueTimeout
+// for an admission slot.
+var ErrOverloaded = errors.New("frontend: overloaded, admission queue timeout")
 
 // Result is one executed query.
 type Result struct {
 	IDs        []uint64
 	Delay      time.Duration
+	Queue      time.Duration // admission-control wait
 	Schedule   time.Duration // plan computation (Fig 7.11 breakdown)
 	Dispatch   time.Duration // network + remote matching
 	Merge      time.Duration // result assembly + dedup
@@ -57,21 +81,72 @@ type Result struct {
 // Frontend schedules and executes queries against a node view.
 type Frontend struct {
 	cfg Config
+	qid atomic.Uint64 // query ids for tracing
 
 	mu     sync.RWMutex
 	view   proto.View
 	pl     *core.Placement
 	nodes  map[ring.NodeID]*handle
 	failed map[ring.NodeID]bool
+	// Execution-pipeline state, swappable at runtime by view tuning.
+	tune    tuning
+	admit   chan struct{} // admission slots (nil = unlimited)
+	workers chan struct{} // dispatch worker slots (nil = unlimited)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	statMu    sync.Mutex
+	queueS    *stats.Sample
 	schedS    *stats.Sample
 	dispatchS *stats.Sample
 	mergeS    *stats.Sample
 	totalS    *stats.Sample
+}
+
+// tuning is the effective execution-pipeline configuration: Config
+// defaults, overridden per field by the view's proto.Tuning.
+type tuning struct {
+	poolSize        int
+	maxInFlight     int
+	dispatchWorkers int
+	queueTimeout    time.Duration
+}
+
+func (f *Frontend) baseTuning() tuning {
+	return tuning{
+		poolSize:        f.cfg.PoolSize,
+		maxInFlight:     f.cfg.MaxInFlight,
+		dispatchWorkers: f.cfg.DispatchWorkers,
+		queueTimeout:    f.cfg.QueueTimeout,
+	}
+}
+
+// merge overlays non-zero view tuning fields on the config baseline.
+func (t tuning) merge(pt *proto.Tuning) tuning {
+	if pt == nil {
+		return t
+	}
+	if pt.PoolSize > 0 {
+		t.poolSize = pt.PoolSize
+	}
+	if pt.MaxInFlight > 0 {
+		t.maxInFlight = pt.MaxInFlight
+	}
+	if pt.DispatchWorkers > 0 {
+		t.dispatchWorkers = pt.DispatchWorkers
+	}
+	if pt.QueueTimeoutNanos > 0 {
+		t.queueTimeout = time.Duration(pt.QueueTimeoutNanos)
+	}
+	return t
+}
+
+func semaphore(n int) chan struct{} {
+	if n <= 0 {
+		return nil
+	}
+	return make(chan struct{}, n)
 }
 
 type handle struct {
@@ -94,16 +169,24 @@ func New(cfg Config) *Frontend {
 	if cfg.InitialSpeed <= 0 {
 		cfg.InitialSpeed = 1
 	}
-	return &Frontend{
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1
+	}
+	f := &Frontend{
 		cfg:       cfg,
 		nodes:     make(map[ring.NodeID]*handle),
 		failed:    make(map[ring.NodeID]bool),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		queueS:    stats.NewSample(0),
 		schedS:    stats.NewSample(0),
 		dispatchS: stats.NewSample(0),
 		mergeS:    stats.NewSample(0),
 		totalS:    stats.NewSample(0),
 	}
+	f.tune = f.baseTuning()
+	f.admit = semaphore(f.tune.maxInFlight)
+	f.workers = semaphore(f.tune.dispatchWorkers)
+	return f
 }
 
 // ApplyView installs a membership snapshot: it rebuilds the ring
@@ -142,19 +225,32 @@ func (f *Frontend) ApplyView(v proto.View) error {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Apply execution-pipeline tuning pushed with the view (§4.9-style
+	// central control). Resized semaphores only govern newly admitted
+	// work; queries holding a slot release onto the channel they
+	// captured, so a brief transition can exceed the new bound.
+	tune := f.baseTuning().merge(v.Tuning)
+	if tune.maxInFlight != f.tune.maxInFlight {
+		f.admit = semaphore(tune.maxInFlight)
+	}
+	if tune.dispatchWorkers != f.tune.dispatchWorkers {
+		f.workers = semaphore(tune.dispatchWorkers)
+	}
+	f.tune = tune
 	seen := map[ring.NodeID]bool{}
 	for _, ni := range v.Nodes {
 		id := ring.NodeID(ni.ID)
 		seen[id] = true
 		if h, ok := f.nodes[id]; ok && h.addr == ni.Addr {
-			continue // keep client and speed estimate
+			continue // keep client (and its pool) and speed estimate
 		}
 		if h, ok := f.nodes[id]; ok {
 			h.client.Close()
 		}
 		sp := stats.NewEWMA(f.cfg.SpeedAlpha)
 		sp.Set(f.cfg.InitialSpeed)
-		f.nodes[id] = &handle{addr: ni.Addr, client: wire.NewClient(ni.Addr), speed: sp}
+		cl := wire.NewClientWithConfig(ni.Addr, wire.ClientConfig{PoolSize: tune.poolSize})
+		f.nodes[id] = &handle{addr: ni.Addr, client: cl, speed: sp}
 	}
 	for id, h := range f.nodes {
 		if !seen[id] {
@@ -239,15 +335,42 @@ func (f *Frontend) estimator() core.Estimator {
 	})
 }
 
-// Execute runs one encrypted query end to end.
+// Execute runs one encrypted query end to end: admission, scheduling,
+// pipelined dispatch, and streaming merge.
 func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	t0 := time.Now()
+	f.mu.RLock()
+	admit := f.admit
+	queueTO := f.tune.queueTimeout
+	f.mu.RUnlock()
+	if admit != nil {
+		var timeout <-chan time.Time
+		if queueTO > 0 {
+			tm := time.NewTimer(queueTO)
+			defer tm.Stop()
+			timeout = tm.C
+		}
+		select {
+		case admit <- struct{}{}:
+			// Release to the same channel we acquired from, even if a
+			// view swaps f.admit while we run.
+			defer func() { <-admit }()
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-timeout:
+			return Result{}, ErrOverloaded
+		}
+	}
+	queueDur := time.Since(t0)
+
+	tSched := time.Now()
 	f.mu.RLock()
 	pl := f.pl
 	pq := f.cfg.PQ
 	if pq == 0 || pq < f.view.P {
 		pq = f.view.P
 	}
+	workers := f.workers
 	failed := make(map[ring.NodeID]bool, len(f.failed))
 	for id := range f.failed {
 		failed[id] = true
@@ -276,31 +399,43 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 			return Result{}, fmt.Errorf("frontend: repairing plan: %w", err)
 		}
 	}
-	schedDur := time.Since(t0)
+	schedDur := time.Since(tSched)
 
-	// Dispatch all sub-queries in parallel with per-sub timers.
+	// Dispatch all sub-queries through the shared worker pool with
+	// per-sub timers, deduplicating into the aggregator as responses
+	// stream in.
 	t1 := time.Now()
-	res := f.dispatchAll(ctx, pl, est, q, plan.Subs, 0)
+	agg := &aggregator{
+		qid:     f.qid.Add(1),
+		seen:    make(map[uint64]struct{}),
+		workers: workers,
+	}
+	f.dispatchAll(ctx, pl, est, q, plan.Subs, 0, agg)
 	dispatchDur := time.Since(t1)
 
+	// Merge: responses were deduplicated on arrival, so only the final
+	// ordering remains.
 	t2 := time.Now()
-	ids := dedup(res.ids)
+	ids := agg.ids
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	mergeDur := time.Since(t2)
 
 	out := Result{
 		IDs:        ids,
 		Delay:      time.Since(t0),
+		Queue:      queueDur,
 		Schedule:   schedDur,
 		Dispatch:   dispatchDur,
 		Merge:      mergeDur,
-		SubQueries: res.sent,
-		Failures:   res.failures,
-		Scanned:    res.scanned,
+		SubQueries: agg.sent,
+		Failures:   agg.failures,
+		Scanned:    agg.scanned,
 	}
-	if res.err != nil {
-		return out, res.err
+	if agg.err != nil {
+		return out, agg.err
 	}
 	f.statMu.Lock()
+	f.queueS.Add(queueDur.Seconds())
 	f.schedS.Add(schedDur.Seconds())
 	f.dispatchS.Add(dispatchDur.Seconds())
 	f.mergeS.Add(mergeDur.Seconds())
@@ -309,7 +444,15 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	return out, nil
 }
 
-type dispatchResult struct {
+// aggregator accumulates one query's streaming results across the
+// dispatch recursion. Duplicate ids (from replica overlap after
+// failure re-dispatch) are discarded on arrival rather than buffered.
+type aggregator struct {
+	qid     uint64
+	workers chan struct{} // nil = unbounded
+
+	mu       sync.Mutex
+	seen     map[uint64]struct{}
 	ids      []uint64
 	sent     int
 	failures int
@@ -317,33 +460,60 @@ type dispatchResult struct {
 	err      error
 }
 
-// dispatchAll sends sub-queries concurrently. A failed sub-query is
-// split per §4.4 and re-dispatched (bounded depth to terminate under
-// mass failure).
-func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, q pps.Query, subs []core.SubQuery, depth int) dispatchResult {
+func (a *aggregator) add(resp proto.QueryResp) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, id := range resp.IDs {
+		if _, dup := a.seen[id]; !dup {
+			a.seen[id] = struct{}{}
+			a.ids = append(a.ids, id)
+		}
+	}
+	a.scanned += resp.Scanned
+}
+
+func (a *aggregator) fail(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// dispatchAll sends sub-queries concurrently through the shared worker
+// pool. A failed sub-query is split per §4.4 and re-dispatched (bounded
+// depth to terminate under mass failure).
+func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, q pps.Query, subs []core.SubQuery, depth int, agg *aggregator) {
 	const maxDepth = 4
-	var (
-		wg  sync.WaitGroup
-		mu  sync.Mutex
-		agg dispatchResult
-	)
-	agg.sent = len(subs)
+	var wg sync.WaitGroup
+	agg.mu.Lock()
+	agg.sent += len(subs)
+	agg.mu.Unlock()
 	for _, sub := range subs {
 		wg.Add(1)
 		go func(sub core.SubQuery) {
 			defer wg.Done()
-			resp, err := f.sendSub(ctx, q, sub)
+			// Take a dispatch worker slot for the RPC itself. The slot
+			// is released before any retry recursion, so retries cannot
+			// deadlock against a drained pool.
+			if agg.workers != nil {
+				select {
+				case agg.workers <- struct{}{}:
+				case <-ctx.Done():
+					agg.fail(ctx.Err())
+					return
+				}
+			}
+			resp, err := f.sendSub(ctx, agg.qid, q, sub)
+			if agg.workers != nil {
+				<-agg.workers
+			}
 			if err == nil {
-				mu.Lock()
-				agg.ids = append(agg.ids, resp.IDs...)
-				agg.scanned += resp.Scanned
-				mu.Unlock()
+				agg.add(resp)
 				return
 			}
 			if ctx.Err() != nil {
-				mu.Lock()
-				agg.err = ctx.Err()
-				mu.Unlock()
+				agg.fail(ctx.Err())
 				return
 			}
 			// Failure path: mark the node, split the sub-query in two
@@ -355,42 +525,28 @@ func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core
 				failedSet[id] = true
 			}
 			f.mu.Unlock()
-			mu.Lock()
+			agg.mu.Lock()
 			agg.failures++
-			mu.Unlock()
+			agg.mu.Unlock()
 			if depth >= maxDepth {
-				mu.Lock()
-				agg.err = fmt.Errorf("frontend: sub-query (%v,%v] failed beyond retry depth: %w", sub.Lo, sub.Hi, err)
-				mu.Unlock()
+				agg.fail(fmt.Errorf("frontend: sub-query (%v,%v] failed beyond retry depth: %w", sub.Lo, sub.Hi, err))
 				return
 			}
 			f.rngMu.Lock()
 			repaired, rerr := pl.RepairPlan(core.Plan{Subs: []core.SubQuery{sub}}, failedSet, est, f.rng)
 			f.rngMu.Unlock()
 			if rerr != nil {
-				mu.Lock()
-				agg.err = fmt.Errorf("frontend: cannot re-place failed sub-query: %w", rerr)
-				mu.Unlock()
+				agg.fail(fmt.Errorf("frontend: cannot re-place failed sub-query: %w", rerr))
 				return
 			}
-			child := f.dispatchAll(ctx, pl, est, q, repaired.Subs, depth+1)
-			mu.Lock()
-			agg.ids = append(agg.ids, child.ids...)
-			agg.sent += child.sent
-			agg.failures += child.failures
-			agg.scanned += child.scanned
-			if child.err != nil && agg.err == nil {
-				agg.err = child.err
-			}
-			mu.Unlock()
+			f.dispatchAll(ctx, pl, est, q, repaired.Subs, depth+1, agg)
 		}(sub)
 	}
 	wg.Wait()
-	return agg
 }
 
 // sendSub executes one sub-query with its timer.
-func (f *Frontend) sendSub(ctx context.Context, q pps.Query, sub core.SubQuery) (proto.QueryResp, error) {
+func (f *Frontend) sendSub(ctx context.Context, qid uint64, q pps.Query, sub core.SubQuery) (proto.QueryResp, error) {
 	f.mu.RLock()
 	h := f.nodes[sub.Node]
 	f.mu.RUnlock()
@@ -409,7 +565,7 @@ func (f *Frontend) sendSub(ctx context.Context, q pps.Query, sub core.SubQuery) 
 
 	cctx, cancel := context.WithTimeout(ctx, f.cfg.SubQueryTimeout)
 	defer cancel()
-	req := proto.QueryReq{Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
+	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
 	start := time.Now()
 	var resp proto.QueryResp
 	if err := h.client.Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
@@ -422,24 +578,10 @@ func (f *Frontend) sendSub(ctx context.Context, q pps.Query, sub core.SubQuery) 
 	return resp, nil
 }
 
-func dedup(ids []uint64) []uint64 {
-	if len(ids) == 0 {
-		return nil
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	out := ids[:1]
-	for _, id := range ids[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
 // Breakdown reports the accumulated per-phase delay means in seconds
-// (Fig 7.11).
+// (Fig 7.11, plus the admission queue wait).
 type Breakdown struct {
-	Schedule, Dispatch, Merge, Total stats.Summary
+	Queue, Schedule, Dispatch, Merge, Total stats.Summary
 }
 
 // DelayBreakdown returns the phase summaries.
@@ -447,6 +589,7 @@ func (f *Frontend) DelayBreakdown() Breakdown {
 	f.statMu.Lock()
 	defer f.statMu.Unlock()
 	return Breakdown{
+		Queue:    f.queueS.Summarize(),
 		Schedule: f.schedS.Summarize(),
 		Dispatch: f.dispatchS.Summarize(),
 		Merge:    f.mergeS.Summarize(),

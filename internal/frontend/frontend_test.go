@@ -220,18 +220,55 @@ func TestBreakdownAccumulates(t *testing.T) {
 	}
 }
 
-func TestDedup(t *testing.T) {
-	got := dedup([]uint64{5, 1, 3, 1, 5, 5})
-	want := []uint64{1, 3, 5}
-	if len(got) != len(want) {
-		t.Fatalf("dedup = %v", got)
+// TestAggregatorDedup pins the streaming merge invariant directly:
+// overlapping sub-responses (the failure re-dispatch case, §4.4) are
+// deduplicated on arrival, preserving scanned counts.
+func TestAggregatorDedup(t *testing.T) {
+	agg := &aggregator{seen: make(map[uint64]struct{})}
+	agg.add(proto.QueryResp{IDs: []uint64{5, 1, 3}, Scanned: 3})
+	agg.add(proto.QueryResp{IDs: []uint64{1, 5, 5, 7}, Scanned: 4})
+	want := []uint64{5, 1, 3, 7} // arrival order, duplicates dropped
+	if len(agg.ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", agg.ids, want)
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("dedup = %v, want %v", got, want)
+		if agg.ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", agg.ids, want)
 		}
 	}
-	if dedup(nil) != nil {
-		t.Error("dedup(nil) should be nil")
+	if agg.scanned != 7 {
+		t.Errorf("scanned = %d, want 7", agg.scanned)
+	}
+}
+
+// TestMergeDedup checks the merged output through Execute at pq > 1
+// over fully replicated nodes: results must come back sorted and
+// unique (the sub-query arc bounds provide happy-path duplicate
+// avoidance; overlap handling is covered by TestAggregatorDedup and
+// the cluster failure e2e test).
+func TestMergeDedup(t *testing.T) {
+	enc := slimEncoder()
+	v, nodes := testView(t, enc, 4, 1)
+	loadAll(t, nodes, enc, []string{"aa", "aa", "bb"})
+	fe := New(Config{PQ: 4})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "aa"})
+	res, err := fe.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubQueries != 4 {
+		t.Fatalf("pq=4 should send 4 sub-queries, sent %d", res.SubQueries)
+	}
+	if len(res.IDs) != 2 {
+		t.Fatalf("merge returned %d ids, want 2 deduplicated", len(res.IDs))
+	}
+	for i := 1; i < len(res.IDs); i++ {
+		if res.IDs[i] <= res.IDs[i-1] {
+			t.Fatalf("ids not sorted unique: %v", res.IDs)
+		}
 	}
 }

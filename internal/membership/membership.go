@@ -31,6 +31,9 @@ type Config struct {
 	BalanceThreshold float64
 	// PutChunk bounds records per push RPC. Default 2000.
 	PutChunk int
+	// Tuning, when set, is distributed to frontends inside every view
+	// so the fleet converges on one execution-pipeline configuration.
+	Tuning *proto.Tuning
 }
 
 // Coordinator is the membership server.
@@ -118,7 +121,7 @@ func (c *Coordinator) View() proto.View {
 }
 
 func (c *Coordinator) viewLocked() proto.View {
-	v := proto.View{Epoch: c.epoch, P: c.p}
+	v := proto.View{Epoch: c.epoch, P: c.p, Tuning: c.cfg.Tuning}
 	for k, r := range c.rings {
 		if c.disabled[k] {
 			continue

@@ -45,6 +45,8 @@ type Node struct {
 	queries   atomic.Int64
 	scanned   atomic.Int64
 	busyNanos atomic.Int64
+	inflight  atomic.Int64
+	peak      atomic.Int64 // high-water mark of concurrent queries
 	started   time.Time
 }
 
@@ -67,6 +69,14 @@ func (n *Node) Store() *store.Store { return n.store }
 // Query matches the encrypted query against stored objects in (lo, hi].
 func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, error) {
 	start := time.Now()
+	cur := n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	for {
+		p := n.peak.Load()
+		if cur <= p || n.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
 	if n.cfg.FixedQueryCost > 0 {
 		time.Sleep(n.cfg.FixedQueryCost)
 	}
@@ -109,11 +119,12 @@ func (n *Node) Retain(req proto.RetainReq) proto.RetainResp {
 // Stats reports counters.
 func (n *Node) Stats() proto.StatsResp {
 	return proto.StatsResp{
-		Objects:    n.store.Len(),
-		Queries:    n.queries.Load(),
-		Scanned:    n.scanned.Load(),
-		BusyNanos:  n.busyNanos.Load(),
-		UptimeSecs: time.Since(n.started).Seconds(),
+		Objects:         n.store.Len(),
+		Queries:         n.queries.Load(),
+		Scanned:         n.scanned.Load(),
+		BusyNanos:       n.busyNanos.Load(),
+		UptimeSecs:      time.Since(n.started).Seconds(),
+		PeakConcurrency: n.peak.Load(),
 	}
 }
 

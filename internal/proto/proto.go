@@ -49,7 +49,9 @@ type FEQueryReq struct {
 type FEQueryResp struct {
 	IDs        []uint64 `json:"ids,omitempty"`
 	DelayNanos int64    `json:"delay_ns"`
+	QueueNanos int64    `json:"queue_ns"` // admission-control wait
 	SubQueries int      `json:"sub_queries"`
+	Failures   int      `json:"failures"` // failed sub-queries recovered
 }
 
 // QueryReq asks a node to match the encrypted query against its stored
@@ -110,6 +112,10 @@ type StatsResp struct {
 	Scanned    int64   `json:"scanned"`
 	BusyNanos  int64   `json:"busy_ns"`
 	UptimeSecs float64 `json:"uptime_s"`
+	// PeakConcurrency is the high-water mark of simultaneously
+	// executing sub-queries, evidence that frontend dispatch actually
+	// overlaps work on the node.
+	PeakConcurrency int64 `json:"peak_concurrency,omitempty"`
 }
 
 // NodeInfo describes one node's placement for frontend consumption.
@@ -120,12 +126,28 @@ type NodeInfo struct {
 	Addr  string  `json:"addr"`
 }
 
+// Tuning carries the frontend execution-pipeline knobs. The membership
+// server distributes it inside the View so every frontend converges on
+// the same connection-pool and admission configuration; zero-valued
+// fields leave the frontend's local configuration in force.
+type Tuning struct {
+	// PoolSize is the per-node wire connection pool width.
+	PoolSize int `json:"pool_size,omitempty"`
+	// MaxInFlight caps concurrently executing queries per frontend.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// DispatchWorkers bounds concurrent sub-query RPCs per frontend.
+	DispatchWorkers int `json:"dispatch_workers,omitempty"`
+	// QueueTimeoutNanos bounds the admission-queue wait.
+	QueueTimeoutNanos int64 `json:"queue_timeout_ns,omitempty"`
+}
+
 // View is the membership server's cluster snapshot: everything a
 // frontend needs to schedule queries.
 type View struct {
-	Epoch int        `json:"epoch"` // increases on every change
-	P     int        `json:"p"`     // safe partitioning level (§4.5)
-	Nodes []NodeInfo `json:"nodes"`
+	Epoch  int        `json:"epoch"` // increases on every change
+	P      int        `json:"p"`     // safe partitioning level (§4.5)
+	Nodes  []NodeInfo `json:"nodes"`
+	Tuning *Tuning    `json:"tuning,omitempty"` // frontend pipeline knobs
 }
 
 // JoinReq registers a node with the membership server.

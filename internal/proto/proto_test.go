@@ -1,0 +1,160 @@
+package proto
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"roar/internal/pps"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same type,
+// and requires deep equality — the property the wire layer relies on
+// for every message.
+func roundTrip(t *testing.T, v interface{}) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v))
+	if err := json.Unmarshal(b, out.Interface()); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	if got := out.Elem().Interface(); !reflect.DeepEqual(got, v) {
+		t.Errorf("%T round-trip mismatch:\n sent %+v\n got  %+v", v, v, got)
+	}
+}
+
+func testEncoder() *pps.Encoder {
+	return pps.NewEncoder(pps.TestKey(1), pps.EncoderConfig{
+		MaxKeywords: 2, MaxPathDir: 1,
+		SizePoints: pps.LinearPoints(0, 100, 2), DateDays: 30, DateSpan: 2,
+		RankBuckets: []int{1},
+	})
+}
+
+func testQuery(t *testing.T) pps.Query {
+	t.Helper()
+	q, err := testEncoder().EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "aa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func testRecord(t *testing.T) pps.Encoded {
+	t.Helper()
+	rec, err := testEncoder().EncryptDocument(pps.Document{
+		ID: 42, Path: "/a/b", Size: 10,
+		Modified: time.Unix(1.2e9, 0), Keywords: []string{"aa"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestLoadMessages(t *testing.T) {
+	roundTrip(t, LoadReq{Path: "/tmp/corpus.dat"})
+	roundTrip(t, LoadResp{Records: 12345})
+}
+
+func TestFrontendMessages(t *testing.T) {
+	roundTrip(t, FEQueryReq{Q: testQuery(t)})
+	roundTrip(t, FEQueryResp{
+		IDs:        []uint64{1, 2, 1 << 60},
+		DelayNanos: 987654321,
+		QueueNanos: 1234,
+		SubQueries: 7,
+		Failures:   2,
+	})
+}
+
+func TestNodeQueryMessages(t *testing.T) {
+	roundTrip(t, QueryReq{QID: 9, Lo: 0.125, Hi: 0.875, Q: testQuery(t)})
+	roundTrip(t, QueryResp{IDs: []uint64{3, 1}, Scanned: 400, MatchNanos: 55})
+}
+
+func TestNodeDataMessages(t *testing.T) {
+	roundTrip(t, PutReq{Records: []pps.Encoded{testRecord(t)}})
+	roundTrip(t, PutResp{Stored: 1, Total: 10})
+	roundTrip(t, DeleteReq{IDs: []uint64{5, 6}})
+	roundTrip(t, RetainReq{Start: 0.25, Length: 0.5, P: 4})
+	roundTrip(t, RetainResp{Dropped: 3, Remaining: 7})
+	roundTrip(t, StatsResp{Objects: 9, Queries: 100, Scanned: 5000,
+		BusyNanos: 777, UptimeSecs: 3.5, PeakConcurrency: 16})
+}
+
+func TestMembershipMessages(t *testing.T) {
+	roundTrip(t, NodeInfo{ID: 3, Ring: 1, Start: 0.75, Addr: "127.0.0.1:9999"})
+	roundTrip(t, JoinReq{Addr: "127.0.0.1:1", SpeedHint: 2.5})
+	roundTrip(t, JoinResp{ID: 8, Ring: 0, Start: 0.5})
+	roundTrip(t, LeaveReq{ID: 8})
+	roundTrip(t, SetPReq{P: 6})
+	roundTrip(t, ReportReq{Speeds: map[int]float64{1: 0.5, 2: 1.5}, Failed: []int{3}})
+}
+
+func TestViewAndTuning(t *testing.T) {
+	roundTrip(t, Tuning{
+		PoolSize: 4, MaxInFlight: 64, DispatchWorkers: 128,
+		QueueTimeoutNanos: int64(2 * time.Second),
+	})
+	roundTrip(t, View{
+		Epoch: 5, P: 3,
+		Nodes: []NodeInfo{
+			{ID: 0, Ring: 0, Start: 0, Addr: "127.0.0.1:1"},
+			{ID: 1, Ring: 1, Start: 0.5, Addr: "127.0.0.1:2"},
+		},
+		Tuning: &Tuning{PoolSize: 2, MaxInFlight: 32},
+	})
+	// Absent tuning must stay absent (old frontends and new views
+	// interoperate), and must not serialise as an empty object.
+	v := View{Epoch: 1, P: 1, Nodes: []NodeInfo{{Addr: "a"}}}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got View
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuning != nil {
+		t.Errorf("zero view grew tuning: %+v", got.Tuning)
+	}
+}
+
+// TestQueryMatchabilitySurvivesWire pins the end-to-end property the
+// protocol exists for: an encrypted query that matched a record before
+// serialisation still matches after both cross the wire.
+func TestQueryMatchabilitySurvivesWire(t *testing.T) {
+	enc := testEncoder()
+	rec := testRecord(t)
+	q := testQuery(t)
+
+	reqB, err := json.Marshal(QueryReq{QID: 1, Lo: 0, Hi: 1, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putB, err := json.Marshal(PutReq{Records: []pps.Encoded{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req QueryReq
+	var put PutReq
+	if err := json.Unmarshal(reqB, &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(putB, &put); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pps.NewMatcher(enc.ServerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.MatchAll(req.Q, put.Records)
+	if len(got) != 1 || got[0] != rec.ID {
+		t.Errorf("query should still match record %d after a wire round-trip, got %v", rec.ID, got)
+	}
+}

@@ -1,13 +1,16 @@
 // Package wire is the RPC substrate of the ROAR cluster: length-prefixed
-// JSON messages over TCP, with request/response multiplexing on a single
-// connection per peer pair.
+// JSON messages over TCP, with request/response multiplexing across a
+// small pool of connections per peer pair.
 //
 // §4.8.4 discusses the transport choice: TCP for reliability, with the
 // observation that data-center RPCs are application-limited and must not
 // head-of-line block the scheduler. We multiplex concurrent requests by
-// id on one connection (so one slow response never blocks dispatching
-// new sub-queries) and give every call its own deadline; a timed-out
-// call returns promptly to the caller while the connection survives.
+// id (so one slow response never blocks dispatching new sub-queries),
+// stripe calls round-robin across the pool so request writes are not
+// serialised behind one mutex at high concurrency, and give every call
+// its own deadline; a timed-out call returns promptly to the caller
+// while its connection survives. A connection that errors is evicted
+// from the pool and lazily redialled.
 package wire
 
 import (
@@ -178,96 +181,195 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Client is a multiplexing RPC client for one remote server. Safe for
-// concurrent use; a broken connection is redialled on the next call.
+// ClientConfig tunes a client's connection pool.
+type ClientConfig struct {
+	// PoolSize is the number of TCP connections calls are striped
+	// across (default 1). One multiplexed connection is correct but
+	// serialises all request writes behind a single mutex and a single
+	// kernel send buffer; a pool removes that bottleneck under high
+	// frontend concurrency.
+	PoolSize int
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// Client is a pooled, multiplexing RPC client for one remote server.
+// Safe for concurrent use. Calls are striped round-robin across up to
+// PoolSize connections, each dialled lazily on first use; every
+// connection multiplexes many in-flight requests by id. A connection
+// that fails (dial, write, or read error) is evicted from the pool and
+// redialled on the next call that lands on its slot.
 type Client struct {
-	addr    string
-	dialTO  time.Duration
-	nextID  atomic.Uint64
-	mu      sync.Mutex // guards conn establishment and writes
-	conn    net.Conn
-	pending map[uint64]chan *frame
-	pmu     sync.Mutex
-	closed  atomic.Bool
+	addr   string
+	cfg    ClientConfig
+	nextID atomic.Uint64 // request ids, shared across the pool
+	rr     atomic.Uint64 // round-robin cursor
+	closed atomic.Bool
+	slots  []*slot
+}
+
+// slot is one pool position. Each slot has its own lock so a slow dial
+// on an empty slot never blocks calls striped to the healthy
+// connections of the other slots.
+type slot struct {
+	mu sync.Mutex
+	cc *clientConn
+}
+
+// clientConn is one pooled connection with its own in-flight table.
+type clientConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serialises request frames on this connection
+
+	pmu      sync.Mutex
+	pending  map[uint64]chan *frame
+	inflight atomic.Int64
+	broken   atomic.Bool
 }
 
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("wire: client closed")
 
-// NewClient returns a lazy client; the connection opens on first Call.
+// NewClient returns a lazy single-connection client; the connection
+// opens on first Call.
 func NewClient(addr string) *Client {
-	return &Client{addr: addr, dialTO: 5 * time.Second, pending: make(map[uint64]chan *frame)}
+	return NewClientWithConfig(addr, ClientConfig{})
 }
 
-// Close tears the connection down; in-flight calls fail.
+// NewClientWithConfig returns a lazy pooled client.
+func NewClientWithConfig(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{addr: addr, cfg: cfg, slots: make([]*slot, cfg.PoolSize)}
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+	}
+	return c
+}
+
+// PoolSize reports the configured pool width.
+func (c *Client) PoolSize() int { return c.cfg.PoolSize }
+
+// ClientStats is a point-in-time pool snapshot.
+type ClientStats struct {
+	Conns    int // healthy dialled connections
+	InFlight int // requests awaiting a response
+}
+
+// Stats snapshots the pool.
+func (c *Client) Stats() ClientStats {
+	var st ClientStats
+	for _, s := range c.slots {
+		s.mu.Lock()
+		if s.cc != nil {
+			st.Conns++
+			st.InFlight += int(s.cc.inflight.Load())
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Close tears all connections down; in-flight calls fail.
 func (c *Client) Close() error {
 	c.closed.Store(true)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	var err error
+	for _, s := range c.slots {
+		s.mu.Lock()
+		if s.cc != nil {
+			if e := s.cc.conn.Close(); err == nil {
+				err = e
+			}
+			s.cc = nil
+		}
+		s.mu.Unlock()
 	}
-	return nil
+	return err
 }
 
-func (c *Client) ensureConn() (net.Conn, error) {
+// conn returns the healthy connection for pool index i, dialling if the
+// slot is empty (lazy dial, and redial after eviction). Only the slot's
+// own lock is held across the dial, so a dead slot cannot stall calls
+// on its healthy neighbours.
+func (c *Client) conn(i int) (*clientConn, error) {
+	s := c.slots[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		return c.conn, nil
+	if s.cc != nil {
+		return s.cc, nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	go c.readLoop(conn)
-	return conn, nil
+	if c.closed.Load() {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	cc := &clientConn{conn: conn, pending: make(map[uint64]chan *frame)}
+	s.cc = cc
+	go c.readLoop(i, cc)
+	return cc, nil
 }
 
-func (c *Client) readLoop(conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 64<<10)
+// evict removes a failed connection from the pool (health-aware
+// eviction: any transport error disqualifies the connection; the slot
+// redials on next use) and fails its in-flight calls.
+func (c *Client) evict(i int, cc *clientConn, cause error) {
+	if cc.broken.Swap(true) {
+		return // already evicted
+	}
+	s := c.slots[i]
+	s.mu.Lock()
+	if s.cc == cc {
+		s.cc = nil
+	}
+	s.mu.Unlock()
+	cc.conn.Close()
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	for id, ch := range cc.pending {
+		ch <- &frame{ID: id, Err: fmt.Sprintf("wire: connection lost: %v", cause)}
+		delete(cc.pending, id)
+	}
+}
+
+func (c *Client) readLoop(i int, cc *clientConn) {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
-			c.failAll(err)
-			c.mu.Lock()
-			if c.conn == conn {
-				c.conn = nil
-			}
-			c.mu.Unlock()
-			conn.Close()
+			c.evict(i, cc, err)
 			return
 		}
-		c.pmu.Lock()
-		ch := c.pending[f.ID]
-		delete(c.pending, f.ID)
-		c.pmu.Unlock()
+		cc.pmu.Lock()
+		ch := cc.pending[f.ID]
+		delete(cc.pending, f.ID)
+		cc.pmu.Unlock()
 		if ch != nil {
 			ch <- f
 		}
 	}
 }
 
-func (c *Client) failAll(err error) {
-	c.pmu.Lock()
-	defer c.pmu.Unlock()
-	for id, ch := range c.pending {
-		ch <- &frame{ID: id, Err: fmt.Sprintf("wire: connection lost: %v", err)}
-		delete(c.pending, id)
-	}
-}
-
-// Call sends a request and decodes the response into out (which may be
-// nil to discard). It honours ctx cancellation/deadline without tearing
-// down the shared connection.
+// Call sends a request on the next pooled connection and decodes the
+// response into out (which may be nil to discard). It honours ctx
+// cancellation/deadline without tearing down the shared connection.
 func (c *Client) Call(ctx context.Context, method string, in, out interface{}) error {
-	conn, err := c.ensureConn()
+	i := int(c.rr.Add(1)-1) % len(c.slots)
+	cc, err := c.conn(i)
 	if err != nil {
 		return err
 	}
@@ -281,32 +383,28 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 		req.Body = b
 	}
 	ch := make(chan *frame, 1)
-	c.pmu.Lock()
-	c.pending[id] = ch
-	c.pmu.Unlock()
+	cc.pmu.Lock()
+	cc.pending[id] = ch
+	cc.pmu.Unlock()
+	cc.inflight.Add(1)
+	defer cc.inflight.Add(-1)
 
-	c.mu.Lock()
-	werr := writeFrame(conn, &req)
-	c.mu.Unlock()
+	cc.wmu.Lock()
+	werr := writeFrame(cc.conn, &req)
+	cc.wmu.Unlock()
 	if werr != nil {
-		c.pmu.Lock()
-		delete(c.pending, id)
-		c.pmu.Unlock()
-		// Drop the broken connection so the next call redials.
-		c.mu.Lock()
-		if c.conn == conn {
-			c.conn = nil
-		}
-		c.mu.Unlock()
-		conn.Close()
+		cc.pmu.Lock()
+		delete(cc.pending, id)
+		cc.pmu.Unlock()
+		c.evict(i, cc, werr)
 		return fmt.Errorf("wire: sending %s: %w", method, werr)
 	}
 
 	select {
 	case <-ctx.Done():
-		c.pmu.Lock()
-		delete(c.pending, id)
-		c.pmu.Unlock()
+		cc.pmu.Lock()
+		delete(cc.pending, id)
+		cc.pmu.Unlock()
 		return ctx.Err()
 	case f := <-ch:
 		if f.Err != "" {
