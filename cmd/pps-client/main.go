@@ -52,6 +52,7 @@ func main() {
 		count    = flag.Int("count", 1, "number of queries to issue")
 		conc     = flag.Int("concurrency", 1, "concurrent in-flight queries")
 		pool     = flag.Int("pool", 1, "TCP connections to the frontend")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -88,10 +89,10 @@ func main() {
 			fatal(fmt.Errorf("no predicates; use -keyword/-path/-size-over"))
 		}
 		if *count > 1 || *conc > 1 {
-			if err := loadTest(enc, *fe, preds, *count, *conc, *pool); err != nil {
+			if err := loadTest(enc, *fe, preds, *count, *conc, *pool, *timeout); err != nil {
 				fatal(err)
 			}
-		} else if err := search(enc, *fe, preds); err != nil {
+		} else if err := search(enc, *fe, preds, *timeout); err != nil {
 			fatal(err)
 		}
 	default:
@@ -124,7 +125,7 @@ func generate(enc *pps.Encoder, n int, out string) error {
 	return nil
 }
 
-func search(enc *pps.Encoder, addr string, preds []pps.Predicate) error {
+func search(enc *pps.Encoder, addr string, preds []pps.Predicate, timeout time.Duration) error {
 	q, err := enc.EncryptQuery(pps.And, preds...)
 	if err != nil {
 		return err
@@ -132,13 +133,20 @@ func search(enc *pps.Encoder, addr string, preds []pps.Predicate) error {
 	cl := wire.NewClient(addr)
 	defer cl.Close()
 	var resp proto.FEQueryResp
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	if err := cl.Call(context.Background(), proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp); err != nil {
+	if err := cl.Call(ctx, proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp); err != nil {
 		return err
 	}
-	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries)\n",
+	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries, %d failures, %d hedges)\n",
 		len(resp.IDs), time.Since(start).Round(time.Millisecond),
-		time.Duration(resp.DelayNanos).Round(time.Millisecond), resp.SubQueries)
+		time.Duration(resp.DelayNanos).Round(time.Millisecond),
+		resp.SubQueries, resp.Failures, resp.Hedges)
 	for i, id := range resp.IDs {
 		if i >= 10 {
 			fmt.Printf("  ... and %d more\n", len(resp.IDs)-10)
@@ -152,7 +160,7 @@ func search(enc *pps.Encoder, addr string, preds []pps.Predicate) error {
 // loadTest issues count queries with conc concurrent workers over a
 // pooled connection and reports throughput and the delay distribution —
 // the client-side view of the frontend's execution pipeline.
-func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc, pool int) error {
+func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc, pool int, timeout time.Duration) error {
 	q, err := enc.EncryptQuery(pps.And, preds...)
 	if err != nil {
 		return err
@@ -166,6 +174,8 @@ func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc,
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		delays   []float64
+		failures int
+		hedges   int
 		firstErr error
 		failed   atomic.Bool
 		next     = make(chan struct{}, count)
@@ -184,8 +194,16 @@ func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc,
 					return // abandon the backlog after the first error
 				}
 				var resp proto.FEQueryResp
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+				}
 				t0 := time.Now()
-				err := cl.Call(context.Background(), proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp)
+				err := cl.Call(ctx, proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp)
+				if cancel != nil {
+					cancel()
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -196,6 +214,8 @@ func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc,
 					return
 				}
 				delays = append(delays, time.Since(t0).Seconds())
+				failures += resp.Failures
+				hedges += resp.Hedges
 				mu.Unlock()
 			}
 		}()
@@ -213,8 +233,8 @@ func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc,
 		i := int(p * float64(len(delays)-1))
 		return time.Duration(delays[i] * float64(time.Second))
 	}
-	fmt.Printf("%d queries, %d workers, pool %d: %.1f q/s\n",
-		len(delays), conc, pool, float64(len(delays))/wall)
+	fmt.Printf("%d queries, %d workers, pool %d: %.1f q/s (%d failures recovered, %d hedges)\n",
+		len(delays), conc, pool, float64(len(delays))/wall, failures, hedges)
 	fmt.Printf("delay p50 %v  p90 %v  p99 %v\n",
 		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
 		pct(0.99).Round(time.Millisecond))

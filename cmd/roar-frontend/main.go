@@ -33,6 +33,10 @@ func main() {
 		inflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = unlimited)")
 		workers  = flag.Int("dispatch-workers", 0, "max concurrent sub-query RPCs (0 = unlimited)")
 		queueTO  = flag.Duration("queue-timeout", 0, "admission queue wait limit (0 = caller context)")
+		nodeOut  = flag.Int("node-outstanding", 0, "max in-flight sub-queries per node (per-node backpressure, 0 = unlimited)")
+		hedge    = flag.Duration("hedge-delay", 0, "re-dispatch a slow sub-query onto replicas after this delay (0 = off)")
+		hedgeQ   = flag.Float64("hedge-quantile", 0, "derive the hedge delay from this quantile of observed sub-query latency, e.g. 0.95 (0 = fixed -hedge-delay)")
+		probe    = flag.Duration("probe-interval", 0, "suspected-node recovery probe cadence (0 = 500ms default, <0 = off)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,9 @@ func main() {
 		PQ: *pq, RangeAdjust: *adjust, MaxSplits: *splits,
 		PoolSize: *pool, MaxInFlight: *inflight,
 		DispatchWorkers: *workers, QueueTimeout: *queueTO,
+		NodeMaxOutstanding: *nodeOut,
+		HedgeDelay:         *hedge, HedgeQuantile: *hedgeQ,
+		ProbeInterval: *probe,
 	})
 	defer fe.Close()
 	mcl := wire.NewClient(*member)
@@ -94,7 +101,7 @@ func main() {
 		}
 		return proto.FEQueryResp{
 			IDs: res.IDs, DelayNanos: int64(res.Delay), QueueNanos: int64(res.Queue),
-			SubQueries: res.SubQueries, Failures: res.Failures,
+			SubQueries: res.SubQueries, Failures: res.Failures, Hedges: res.Hedges,
 		}, nil
 	})
 	srv, err := wire.Serve(*listen, d.Handle)

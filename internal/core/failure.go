@@ -57,10 +57,14 @@ func (pl *Placement) replaceSub(s SubQuery, failed map[ring.NodeID]bool, est Est
 	repl := 1 / float64(pl.p)
 	delta := DeltaFraction * repl
 	span := repl - delta
-	failLo, failHi := failArc.Start, failArc.End()
+	failHi := failArc.End()
 	// idq1 is drawn from (failHi - span, failLo): the window of starting
 	// points whose pair (idq1, idq1+span) straddles the failed range.
-	window := failHi.Add(-span).DistCW(failLo)
+	// Its width is span - |range|; computing it as a clockwise ring
+	// distance would silently wrap to ~1 when the range is wider than
+	// the span, yielding pairs that do NOT bracket the failed node and
+	// lose matches.
+	window := span - failArc.Length
 	if window <= 0 {
 		return SubQuery{}, SubQuery{}, fmt.Errorf("core: failed node %d range %v wider than 1/p-δ; cannot bracket", s.Node, failArc)
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"roar/internal/ring"
+)
+
+// This file implements replica selection for hedged re-dispatch: when a
+// sub-query is slow but its node is not (yet) declared failed, the
+// frontend speculatively launches the same work on other replicas and
+// keeps whichever answer arrives first (Tail-Tolerant Distributed
+// Search; Dean's "tail at scale" hedging). Unlike the §4.4 failure
+// fallback, hedging must not assume the primary is gone — the selection
+// merely avoids it.
+
+// HedgeSubs returns sub-queries that, together, match exactly the same
+// object arc as s on nodes other than s.Node (and other than any node
+// in avoid). Preference order:
+//
+//  1. A single node whose stored set covers the whole arc — possible
+//     with multiple rings (§4.7), where every object has an independent
+//     replica holder per ring, or when a node's range is wide enough.
+//  2. The §4.4 bracket pair: two nodes at most 1/p−δ apart whose stored
+//     sets jointly cover the arc. This always exists on a single ring
+//     when enough non-avoided nodes remain.
+//
+// The returned sub-queries keep s's (Lo, Hi] match bounds, so replica
+// overlap produces only duplicate ids, which the frontend's streaming
+// aggregator discards on arrival.
+func (pl *Placement) HedgeSubs(s SubQuery, avoid map[ring.NodeID]bool, est Estimator, rng *rand.Rand) ([]SubQuery, error) {
+	excluded := func(id ring.NodeID) bool {
+		return id == ring.InvalidNode || id == s.Node || avoid[id]
+	}
+	// Single covering replica: the owner of the sub-query's destination
+	// point on each ring is the only candidate per ring (its range must
+	// contain Hi for its stored set to reach the arc's end).
+	bestID, bestRing, bestFin := ring.InvalidNode, -1, 0.0
+	for k, r := range pl.rings {
+		id := r.Owner(s.Hi)
+		if excluded(id) || !pl.CanServe(id, s.Lo, s.Hi) {
+			continue
+		}
+		fin := est.EstimateFinish(id, s.Size())
+		if bestRing < 0 || fin < bestFin {
+			bestID, bestRing, bestFin = id, k, fin
+		}
+	}
+	if bestRing >= 0 {
+		return []SubQuery{{Node: bestID, Ring: bestRing, Lo: s.Lo, Hi: s.Hi, Est: bestFin}}, nil
+	}
+	// Bracket pair around the primary, reusing the §4.4 placement with
+	// the primary treated as unavailable for selection purposes only.
+	failed := make(map[ring.NodeID]bool, len(avoid)+1)
+	for id := range avoid {
+		failed[id] = true
+	}
+	failed[s.Node] = true
+	a, b, err := pl.replaceSub(s, failed, est, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: no hedge replica for sub-query (%v,%v]: %w", s.Lo, s.Hi, err)
+	}
+	return []SubQuery{a, b}, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"roar/internal/ring"
+)
+
+// hedgeCovers checks that every object the original sub-query would
+// match is stored on (and matched by) at least one hedge sub-query's
+// node — the correctness property hedged re-dispatch relies on.
+func hedgeCovers(t *testing.T, pl *Placement, orig SubQuery, hedges []SubQuery) {
+	t.Helper()
+	for _, h := range hedges {
+		if h.Lo != orig.Lo || h.Hi != orig.Hi {
+			t.Fatalf("hedge sub changed the match arc: (%v,%v] vs (%v,%v]", h.Lo, h.Hi, orig.Lo, orig.Hi)
+		}
+		if h.Node == orig.Node {
+			t.Fatalf("hedge sub targets the primary node %d", orig.Node)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		obj := orig.Lo.Add(orig.Size() * (float64(k) + 0.5) / 200)
+		if !orig.Matches(obj) {
+			continue
+		}
+		stored := false
+		for _, h := range hedges {
+			if pl.Stores(h.Node, obj) {
+				stored = true
+				break
+			}
+		}
+		if !stored {
+			t.Fatalf("object %v in hedged arc stored on no hedge node %v", obj, hedges)
+		}
+	}
+}
+
+func TestHedgeSubsBracketPairSingleRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 12 + rng.Intn(16)
+		p := 3 + rng.Intn(3)
+		pl := mustPlacement(t, p, randomRing(n, 0, rng))
+		plan, err := pl.Schedule(p, uniformEst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := plan.Subs[0]
+		hedges, err := pl.HedgeSubs(orig, nil, uniformEst, rng)
+		if err != nil {
+			// Only a primary too wide to bracket excuses failure.
+			arc, _, _ := pl.NodeRange(orig.Node)
+			if arc.Length < (1/float64(p))*0.9 {
+				t.Fatalf("trial %d: unexpected hedge failure: %v", trial, err)
+			}
+			continue
+		}
+		hedgeCovers(t, pl, orig, hedges)
+	}
+}
+
+func TestHedgeSubsPrefersSingleReplicaAcrossRings(t *testing.T) {
+	// Two rings (§4.7): every arc has an independent owner on the other
+	// ring, so a slow primary hedges onto exactly one covering node.
+	rng := rand.New(rand.NewSource(11))
+	r0 := ring.NewEqual(6)
+	r1 := ring.New()
+	for i := 0; i < 6; i++ {
+		if err := r1.Insert(ring.NodeID(100+i), ring.Norm(float64(i)/6+0.03)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl := mustPlacement(t, 3, r0, r1)
+	plan, err := pl.Schedule(3, uniformEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, orig := range plan.Subs {
+		hedges, err := pl.HedgeSubs(orig, nil, uniformEst, rng)
+		if err != nil {
+			t.Fatalf("hedge failed with a whole spare ring: %v", err)
+		}
+		if len(hedges) != 1 {
+			t.Fatalf("want single-replica hedge across rings, got %d subs", len(hedges))
+		}
+		hedgeCovers(t, pl, orig, hedges)
+	}
+}
+
+func TestHedgeSubsRespectsAvoidSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pl := mustPlacement(t, 3, ring.NewEqual(12))
+	plan, err := pl.Schedule(3, uniformEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := plan.Subs[0]
+	// Avoid a couple of nodes adjacent to the primary.
+	succ, _ := pl.rings[0].Successor(orig.Node)
+	pred, _ := pl.rings[0].Predecessor(orig.Node)
+	avoid := map[ring.NodeID]bool{succ: true, pred: true}
+	hedges, err := pl.HedgeSubs(orig, avoid, uniformEst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hedges {
+		if avoid[h.Node] {
+			t.Fatalf("hedge targets avoided node %d", h.Node)
+		}
+	}
+	hedgeCovers(t, pl, orig, hedges)
+}
+
+// TestRepairPlanRefusesUnbracketableRange is the regression test for
+// the bracket-window wrap bug: with n == p every node's range equals
+// 1/p, wider than the 1/p−δ bracket span, so no replacement pair can
+// straddle the failed node. The repair must say so — the buggy
+// clockwise-distance window wrapped to ~1 and returned pairs that
+// silently lost part of the arc.
+func TestRepairPlanRefusesUnbracketableRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := mustPlacement(t, 4, ring.NewEqual(4))
+	plan, err := pl.Schedule(4, uniformEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := map[ring.NodeID]bool{plan.Subs[0].Node: true}
+	if _, err := pl.RepairPlan(plan, failed, uniformEst, rng); err == nil {
+		t.Fatal("RepairPlan produced a bracket for a node range wider than 1/p-δ; such pairs cannot cover the arc")
+	}
+}

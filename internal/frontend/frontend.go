@@ -2,10 +2,17 @@
 // receives client queries, admits them through a bounded in-flight
 // window, splits them into sub-queries with the Algorithm 1 scheduler,
 // dispatches them over pooled TCP connections through a bounded worker
-// pool, detects node failures through per-sub-query timers,
-// re-dispatches around failures with the §4.4 fallback, merges and
-// deduplicates results incrementally as sub-responses stream in, and
-// maintains per-server processing-speed EWMAs from observed completions.
+// pool with a per-node outstanding-credit cap (backpressure: a slow
+// node stalls only its own dispatch stream), hedges slow sub-queries
+// onto replica nodes before the failure timer fires (first response
+// wins, the loser is cancelled down to the remote matcher), detects
+// node failures through per-sub-query timers, re-dispatches around
+// failures with the §4.4 fallback, merges and deduplicates results
+// incrementally as sub-responses stream in, and maintains per-server
+// processing-speed EWMAs from observed completions. Failure suspicion
+// is revocable: suspected nodes are probed in the background and
+// rescheduled once they answer (healthy → suspected → recovering, see
+// health.go), instead of the seed's permanent one-way failure mark.
 package frontend
 
 import (
@@ -25,6 +32,10 @@ import (
 	"roar/internal/stats"
 	"roar/internal/wire"
 )
+
+// defaultProbeInterval is the recovery-probe cadence when none is
+// configured.
+const defaultProbeInterval = 500 * time.Millisecond
 
 // Config tunes a frontend.
 type Config struct {
@@ -59,6 +70,28 @@ type Config struct {
 	// DispatchWorkers bounds concurrent sub-query RPCs across all
 	// in-flight queries (shared dispatch worker pool). 0 = unlimited.
 	DispatchWorkers int
+
+	// NodeMaxOutstanding caps concurrent in-flight sub-query RPCs per
+	// node (per-node backpressure): dispatch to a backed-up node blocks
+	// on its own credit channel, before a shared dispatch-worker slot
+	// is taken, so one slow node cannot inflate every query's tail by
+	// draining the global pool. 0 = unlimited.
+	NodeMaxOutstanding int
+	// HedgeDelay launches a speculative replica re-dispatch for a
+	// sub-query still unanswered after this long (must be below
+	// SubQueryTimeout to matter). 0 disables hedging unless
+	// HedgeQuantile produces an adaptive delay.
+	HedgeDelay time.Duration
+	// HedgeQuantile, in (0, 1), derives the hedge delay from that
+	// quantile of recently observed sub-query latencies (e.g. 0.95
+	// hedges the slowest ~5%). HedgeDelay then acts as the floor and
+	// the cold-start value. 0 uses the fixed HedgeDelay only.
+	HedgeQuantile float64
+	// ProbeInterval is the cadence of the background probe that
+	// re-evaluates suspected nodes. 0 defaults to 500ms; negative
+	// disables probing (suspicion then clears only via view retention
+	// or a successful hedge contact).
+	ProbeInterval time.Duration
 }
 
 // ErrOverloaded is returned when a query waits longer than QueueTimeout
@@ -73,8 +106,10 @@ type Result struct {
 	Schedule   time.Duration // plan computation (Fig 7.11 breakdown)
 	Dispatch   time.Duration // network + remote matching
 	Merge      time.Duration // result assembly + dedup
-	SubQueries int           // sub-queries sent (grows on failures)
+	SubQueries int           // sub-queries sent (grows on failures and hedges)
 	Failures   int           // failed sub-queries recovered
+	Hedges     int           // speculative replica dispatches launched
+	HedgeWins  int           // hedges that answered before the primary
 	Scanned    int           // objects scanned across nodes
 }
 
@@ -83,15 +118,19 @@ type Frontend struct {
 	cfg Config
 	qid atomic.Uint64 // query ids for tracing
 
-	mu     sync.RWMutex
-	view   proto.View
-	pl     *core.Placement
-	nodes  map[ring.NodeID]*handle
-	failed map[ring.NodeID]bool
+	mu    sync.RWMutex
+	view  proto.View
+	pl    *core.Placement
+	nodes map[ring.NodeID]*handle
 	// Execution-pipeline state, swappable at runtime by view tuning.
 	tune    tuning
 	admit   chan struct{} // admission slots (nil = unlimited)
 	workers chan struct{} // dispatch worker slots (nil = unlimited)
+
+	lat latTracker // recent sub-query latencies (adaptive hedge delay)
+
+	stop      chan struct{} // stops the background prober
+	closeOnce sync.Once
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -107,18 +146,26 @@ type Frontend struct {
 // tuning is the effective execution-pipeline configuration: Config
 // defaults, overridden per field by the view's proto.Tuning.
 type tuning struct {
-	poolSize        int
-	maxInFlight     int
-	dispatchWorkers int
-	queueTimeout    time.Duration
+	poolSize           int
+	maxInFlight        int
+	dispatchWorkers    int
+	queueTimeout       time.Duration
+	nodeMaxOutstanding int
+	hedgeDelay         time.Duration
+	hedgeQuantile      float64
+	probeInterval      time.Duration
 }
 
 func (f *Frontend) baseTuning() tuning {
 	return tuning{
-		poolSize:        f.cfg.PoolSize,
-		maxInFlight:     f.cfg.MaxInFlight,
-		dispatchWorkers: f.cfg.DispatchWorkers,
-		queueTimeout:    f.cfg.QueueTimeout,
+		poolSize:           f.cfg.PoolSize,
+		maxInFlight:        f.cfg.MaxInFlight,
+		dispatchWorkers:    f.cfg.DispatchWorkers,
+		queueTimeout:       f.cfg.QueueTimeout,
+		nodeMaxOutstanding: f.cfg.NodeMaxOutstanding,
+		hedgeDelay:         f.cfg.HedgeDelay,
+		hedgeQuantile:      f.cfg.HedgeQuantile,
+		probeInterval:      f.cfg.ProbeInterval,
 	}
 }
 
@@ -139,6 +186,18 @@ func (t tuning) merge(pt *proto.Tuning) tuning {
 	if pt.QueueTimeoutNanos > 0 {
 		t.queueTimeout = time.Duration(pt.QueueTimeoutNanos)
 	}
+	if pt.NodeMaxOutstanding > 0 {
+		t.nodeMaxOutstanding = pt.NodeMaxOutstanding
+	}
+	if pt.HedgeDelayNanos > 0 {
+		t.hedgeDelay = time.Duration(pt.HedgeDelayNanos)
+	}
+	if pt.HedgeQuantile > 0 {
+		t.hedgeQuantile = pt.HedgeQuantile
+	}
+	if pt.ProbeIntervalNanos > 0 {
+		t.probeInterval = time.Duration(pt.ProbeIntervalNanos)
+	}
 	return t
 }
 
@@ -147,15 +206,6 @@ func semaphore(n int) chan struct{} {
 		return nil
 	}
 	return make(chan struct{}, n)
-}
-
-type handle struct {
-	addr   string
-	client *wire.Client
-	speed  *stats.EWMA
-
-	mu          sync.Mutex
-	outstanding float64 // sum of in-flight sub-query sizes
 }
 
 // New builds a frontend with no view; call ApplyView before Execute.
@@ -172,10 +222,13 @@ func New(cfg Config) *Frontend {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 1
 	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
 	f := &Frontend{
 		cfg:       cfg,
 		nodes:     make(map[ring.NodeID]*handle),
-		failed:    make(map[ring.NodeID]bool),
+		stop:      make(chan struct{}),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		queueS:    stats.NewSample(0),
 		schedS:    stats.NewSample(0),
@@ -186,13 +239,18 @@ func New(cfg Config) *Frontend {
 	f.tune = f.baseTuning()
 	f.admit = semaphore(f.tune.maxInFlight)
 	f.workers = semaphore(f.tune.dispatchWorkers)
+	go f.probeLoop()
 	return f
 }
 
 // ApplyView installs a membership snapshot: it rebuilds the ring
 // placement and node clients. Speed estimates of retained nodes are
-// preserved; nodes absent from the view are closed and forgotten
-// (§4.8.3: a rejoining backup relearns statistics quickly).
+// preserved and their failure suspicion is cleared — the membership
+// layer retaining a node is its assertion that the node deserves
+// re-evaluation (§4.8 suspicion must not ratchet). A retained node's
+// connection pool is rebuilt when the effective pool width retunes.
+// Nodes absent from the view are closed and forgotten (§4.8.3: a
+// rejoining backup relearns statistics quickly).
 func (f *Frontend) ApplyView(v proto.View) error {
 	byRing := map[int]*ring.Ring{}
 	maxRing := 0
@@ -242,21 +300,45 @@ func (f *Frontend) ApplyView(v proto.View) error {
 		id := ring.NodeID(ni.ID)
 		seen[id] = true
 		if h, ok := f.nodes[id]; ok && h.addr == ni.Addr {
-			continue // keep client (and its pool) and speed estimate
+			// Retained node: keep the speed estimate, re-evaluate
+			// suspicion, and retune the mutable transport state.
+			h.mu.Lock()
+			if h.client.PoolSize() != tune.poolSize {
+				// Swap in the rebuilt pool but drain the old client
+				// gracefully: closing it now would error every in-flight
+				// sub-query and spuriously suspect healthy retained
+				// nodes on a pure config change.
+				old := h.client
+				h.client = wire.NewClientWithConfig(ni.Addr, wire.ClientConfig{PoolSize: tune.poolSize})
+				go func() {
+					time.Sleep(f.cfg.SubQueryTimeout)
+					old.Close()
+				}()
+			}
+			if cap(h.credits) != tune.nodeMaxOutstanding {
+				// In-flight senders release onto the channel they
+				// captured; only new dispatches see the new cap.
+				h.credits = semaphore(tune.nodeMaxOutstanding)
+			}
+			h.mu.Unlock()
+			h.clearSuspicion()
+			continue
 		}
 		if h, ok := f.nodes[id]; ok {
-			h.client.Close()
+			h.wireClient().Close()
 		}
 		sp := stats.NewEWMA(f.cfg.SpeedAlpha)
 		sp.Set(f.cfg.InitialSpeed)
 		cl := wire.NewClientWithConfig(ni.Addr, wire.ClientConfig{PoolSize: tune.poolSize})
-		f.nodes[id] = &handle{addr: ni.Addr, client: cl, speed: sp}
+		f.nodes[id] = &handle{
+			id: id, addr: ni.Addr, client: cl, speed: sp,
+			credits: semaphore(tune.nodeMaxOutstanding),
+		}
 	}
 	for id, h := range f.nodes {
 		if !seen[id] {
-			h.client.Close()
+			h.wireClient().Close()
 			delete(f.nodes, id)
-			delete(f.failed, id)
 		}
 	}
 	f.view = v
@@ -271,33 +353,15 @@ func (f *Frontend) View() proto.View {
 	return f.view
 }
 
-// Close shuts all node clients.
+// Close stops the background prober and shuts all node clients.
 func (f *Frontend) Close() {
+	f.closeOnce.Do(func() { close(f.stop) })
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, h := range f.nodes {
-		h.client.Close()
+		h.wireClient().Close()
 	}
 	f.nodes = map[ring.NodeID]*handle{}
-}
-
-// MarkFailed flags a node (tests and membership push-downs).
-func (f *Frontend) MarkFailed(id ring.NodeID) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.failed[id] = true
-}
-
-// FailedNodes returns the currently suspected nodes.
-func (f *Frontend) FailedNodes() []int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	out := make([]int, 0, len(f.failed))
-	for id := range f.failed {
-		out = append(out, int(id))
-	}
-	sort.Ints(out)
-	return out
 }
 
 // SpeedEstimates exports the EWMA speeds for membership reports.
@@ -313,30 +377,42 @@ func (f *Frontend) SpeedEstimates() map[int]float64 {
 	return out
 }
 
-// estimator builds the scheduling estimator from EWMAs and in-flight
-// work (§4.8: outstanding queries and their expected finish times).
+// estimator builds the scheduling estimator from EWMAs, in-flight work,
+// and the queue depth nodes report with every response (§4.8:
+// outstanding queries and their expected finish times). Suspected
+// nodes are effectively unschedulable; recovering nodes compete
+// normally so they are actually re-used after recovery.
 func (f *Frontend) estimator() core.Estimator {
 	return core.EstimatorFunc(func(id ring.NodeID, size float64) float64 {
 		f.mu.RLock()
 		h := f.nodes[id]
-		failed := f.failed[id]
 		f.mu.RUnlock()
-		if h == nil || failed {
-			return 1e12 // effectively unschedulable
+		if h == nil {
+			return 1e12
+		}
+		st, out, depth := h.loadSnapshot()
+		if st == stateSuspected {
+			return 1e12 // unschedulable until a probe clears it
 		}
 		sp, _ := h.speed.Value()
 		if sp <= 0 {
 			sp = f.cfg.InitialSpeed
 		}
-		h.mu.Lock()
-		out := h.outstanding
-		h.mu.Unlock()
-		return (out + size) / sp
+		// Pending load: our own outstanding sub-query sizes, or the
+		// node's self-reported queue depth scaled to this sub-query's
+		// span — whichever is larger. The remote depth includes our own
+		// in-flight work, so taking the max avoids double counting
+		// while still seeing competing frontends' load.
+		load := out
+		if r := float64(depth) * size; r > load {
+			load = r
+		}
+		return (load + size) / sp
 	})
 }
 
 // Execute runs one encrypted query end to end: admission, scheduling,
-// pipelined dispatch, and streaming merge.
+// pipelined dispatch with hedging, and streaming merge.
 func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	t0 := time.Now()
 	f.mu.RLock()
@@ -371,14 +447,11 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 		pq = f.view.P
 	}
 	workers := f.workers
-	failed := make(map[ring.NodeID]bool, len(f.failed))
-	for id := range f.failed {
-		failed[id] = true
-	}
 	f.mu.RUnlock()
 	if pl == nil {
 		return Result{}, fmt.Errorf("frontend: no view installed")
 	}
+	suspected := f.suspectedSet()
 
 	est := f.estimator()
 	plan, err := pl.Schedule(pq, est)
@@ -391,9 +464,9 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	if f.cfg.MaxSplits > 0 {
 		plan = pl.SplitSlowest(plan, est, f.cfg.MaxSplits)
 	}
-	if len(failed) > 0 {
+	if len(suspected) > 0 {
 		f.rngMu.Lock()
-		plan, err = pl.RepairPlan(plan, failed, est, f.rng)
+		plan, err = pl.RepairPlan(plan, suspected, est, f.rng)
 		f.rngMu.Unlock()
 		if err != nil {
 			return Result{}, fmt.Errorf("frontend: repairing plan: %w", err)
@@ -402,8 +475,8 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	schedDur := time.Since(tSched)
 
 	// Dispatch all sub-queries through the shared worker pool with
-	// per-sub timers, deduplicating into the aggregator as responses
-	// stream in.
+	// per-sub timers and hedging, deduplicating into the aggregator as
+	// responses stream in.
 	t1 := time.Now()
 	agg := &aggregator{
 		qid:     f.qid.Add(1),
@@ -429,11 +502,13 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 		Merge:      mergeDur,
 		SubQueries: agg.sent,
 		Failures:   agg.failures,
+		Hedges:     agg.hedges,
+		HedgeWins:  agg.hedgeWins,
 		Scanned:    agg.scanned,
 	}
-	if agg.err != nil {
-		return out, agg.err
-	}
+	// Record the phase breakdown before the error check: failed queries
+	// are exactly the ones whose delay anatomy the breakdown must not
+	// undercount.
 	f.statMu.Lock()
 	f.queueS.Add(queueDur.Seconds())
 	f.schedS.Add(schedDur.Seconds())
@@ -441,23 +516,29 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	f.mergeS.Add(mergeDur.Seconds())
 	f.totalS.Add(out.Delay.Seconds())
 	f.statMu.Unlock()
+	if agg.err != nil {
+		return out, agg.err
+	}
 	return out, nil
 }
 
 // aggregator accumulates one query's streaming results across the
-// dispatch recursion. Duplicate ids (from replica overlap after
-// failure re-dispatch) are discarded on arrival rather than buffered.
+// dispatch recursion. Duplicate ids (from replica overlap after hedged
+// or failure re-dispatch) are discarded on arrival rather than
+// buffered.
 type aggregator struct {
 	qid     uint64
 	workers chan struct{} // nil = unbounded
 
-	mu       sync.Mutex
-	seen     map[uint64]struct{}
-	ids      []uint64
-	sent     int
-	failures int
-	scanned  int
-	err      error
+	mu        sync.Mutex
+	seen      map[uint64]struct{}
+	ids       []uint64
+	sent      int
+	failures  int
+	hedges    int
+	hedgeWins int
+	scanned   int
+	err       error
 }
 
 func (a *aggregator) add(resp proto.QueryResp) {
@@ -480,60 +561,63 @@ func (a *aggregator) fail(err error) {
 	}
 }
 
-// dispatchAll sends sub-queries concurrently through the shared worker
-// pool. A failed sub-query is split per §4.4 and re-dispatched (bounded
-// depth to terminate under mass failure).
+func (a *aggregator) countSent(n int) {
+	a.mu.Lock()
+	a.sent += n
+	a.mu.Unlock()
+}
+
+func (a *aggregator) countFailure() {
+	a.mu.Lock()
+	a.failures++
+	a.mu.Unlock()
+}
+
+// hedgeLaunched counts one hedge of n replica legs; the legs also count
+// as sent sub-queries.
+func (a *aggregator) hedgeLaunched(n int) {
+	a.mu.Lock()
+	a.hedges++
+	a.sent += n
+	a.mu.Unlock()
+}
+
+func (a *aggregator) hedgeWon() {
+	a.mu.Lock()
+	a.hedgeWins++
+	a.mu.Unlock()
+}
+
+// dispatchAll sends sub-queries concurrently; each one races a hedge
+// (hedge.go) when enabled. A sub-query that fails on every leg is split
+// per §4.4 and re-dispatched (bounded depth to terminate under mass
+// failure).
 func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, q pps.Query, subs []core.SubQuery, depth int, agg *aggregator) {
 	const maxDepth = 4
 	var wg sync.WaitGroup
-	agg.mu.Lock()
-	agg.sent += len(subs)
-	agg.mu.Unlock()
+	agg.countSent(len(subs))
 	for _, sub := range subs {
 		wg.Add(1)
 		go func(sub core.SubQuery) {
 			defer wg.Done()
-			// Take a dispatch worker slot for the RPC itself. The slot
-			// is released before any retry recursion, so retries cannot
-			// deadlock against a drained pool.
-			if agg.workers != nil {
-				select {
-				case agg.workers <- struct{}{}:
-				case <-ctx.Done():
-					agg.fail(ctx.Err())
-					return
-				}
-			}
-			resp, err := f.sendSub(ctx, agg.qid, q, sub)
-			if agg.workers != nil {
-				<-agg.workers
-			}
+			err := f.sendSubHedged(ctx, pl, est, agg, q, sub)
 			if err == nil {
-				agg.add(resp)
 				return
 			}
 			if ctx.Err() != nil {
 				agg.fail(ctx.Err())
 				return
 			}
-			// Failure path: mark the node, split the sub-query in two
-			// around the failure (§4.4) and retry.
-			f.mu.Lock()
-			f.failed[sub.Node] = true
-			failedSet := make(map[ring.NodeID]bool, len(f.failed))
-			for id := range f.failed {
-				failedSet[id] = true
-			}
-			f.mu.Unlock()
-			agg.mu.Lock()
-			agg.failures++
-			agg.mu.Unlock()
+			// Failure path: the node is already suspected; split the
+			// sub-query in two around it (§4.4) and retry.
+			agg.countFailure()
 			if depth >= maxDepth {
 				agg.fail(fmt.Errorf("frontend: sub-query (%v,%v] failed beyond retry depth: %w", sub.Lo, sub.Hi, err))
 				return
 			}
+			suspected := f.suspectedSet()
 			f.rngMu.Lock()
-			repaired, rerr := pl.RepairPlan(core.Plan{Subs: []core.SubQuery{sub}}, failedSet, est, f.rng)
+			repaired, rerr := pl.RepairPlan(core.Plan{Subs: []core.SubQuery{sub}}, suspected, est, f.rng)
 			f.rngMu.Unlock()
 			if rerr != nil {
 				agg.fail(fmt.Errorf("frontend: cannot re-place failed sub-query: %w", rerr))
@@ -545,13 +629,43 @@ func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core
 	wg.Wait()
 }
 
-// sendSub executes one sub-query with its timer.
-func (f *Frontend) sendSub(ctx context.Context, qid uint64, q pps.Query, sub core.SubQuery) (proto.QueryResp, error) {
+// sendSub executes one sub-query RPC with its timer. It first takes the
+// node's outstanding credit (per-node backpressure: a backed-up node
+// queues dispatches on its own stream), then a shared dispatch-worker
+// slot — in that order, so a stalled node never drains the global pool.
+// Both are released when the RPC completes, before any retry recursion.
+// A non-nil started channel is closed once both are held and the RPC is
+// about to go out — the hedge timer keys off it so local queueing never
+// counts as remote slowness.
+func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint64, q pps.Query, sub core.SubQuery, started chan<- struct{}) (proto.QueryResp, error) {
 	f.mu.RLock()
 	h := f.nodes[sub.Node]
 	f.mu.RUnlock()
 	if h == nil {
 		return proto.QueryResp{}, fmt.Errorf("frontend: no handle for node %d", sub.Node)
+	}
+	h.mu.Lock()
+	cl := h.client
+	credits := h.credits
+	h.mu.Unlock()
+	if credits != nil {
+		select {
+		case credits <- struct{}{}:
+			defer func() { <-credits }()
+		case <-ctx.Done():
+			return proto.QueryResp{}, ctx.Err()
+		}
+	}
+	if workers != nil {
+		select {
+		case workers <- struct{}{}:
+			defer func() { <-workers }()
+		case <-ctx.Done():
+			return proto.QueryResp{}, ctx.Err()
+		}
+	}
+	if started != nil {
+		close(started)
 	}
 	size := sub.Size()
 	h.mu.Lock()
@@ -568,11 +682,16 @@ func (f *Frontend) sendSub(ctx context.Context, qid uint64, q pps.Query, sub cor
 	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
 	start := time.Now()
 	var resp proto.QueryResp
-	if err := h.client.Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
+	if err := cl.Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
 		return proto.QueryResp{}, err
 	}
-	// Update the speed estimate: observed fraction/second.
-	if d := time.Since(start).Seconds(); d > 0 && size > 0 {
+	// Successful contact: record health, the node's queue depth, the
+	// latency sample for the adaptive hedge delay, and the speed
+	// estimate (observed fraction/second).
+	elapsed := time.Since(start)
+	h.contactOK(resp.QueueDepth)
+	f.lat.observe(elapsed)
+	if d := elapsed.Seconds(); d > 0 && size > 0 {
 		h.speed.Observe(size / d)
 	}
 	return resp, nil

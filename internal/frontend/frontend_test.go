@@ -175,7 +175,10 @@ func TestMarkFailedAvoidsNode(t *testing.T) {
 	enc := slimEncoder()
 	v, nodes := testView(t, enc, 6, 3)
 	loadAll(t, nodes, enc, []string{"aa"})
-	fe := New(Config{})
+	// Probing disabled: node 1 is alive, so the background prober would
+	// (correctly) clear the mark; this test pins the avoidance behaviour
+	// while the mark holds.
+	fe := New(Config{ProbeInterval: -1})
 	defer fe.Close()
 	if err := fe.ApplyView(v); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,237 @@
+package frontend
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"roar/internal/proto"
+	"roar/internal/ring"
+	"roar/internal/stats"
+	"roar/internal/wire"
+)
+
+// Node health (§4.8 failure suspicion, made revocable). The seed
+// implementation kept a one-way `failed` map: a single timeout on a
+// slow-but-alive node made it permanently unschedulable until the
+// membership view dropped it. Health is now a per-node state machine:
+//
+//	healthy ──(sub-query error)──▶ suspected
+//	suspected ──(probe RPC ok, or retained by a new view)──▶ recovering
+//	recovering ──(sub-query ok)──▶ healthy
+//	recovering ──(sub-query error)──▶ suspected
+//
+// Suspected nodes are unschedulable and probed in the background;
+// recovering nodes are scheduled normally (their speed EWMA and the
+// queue depth they report keep the scheduler honest) and promote back
+// to healthy on the first successful sub-query.
+type nodeState int32
+
+const (
+	stateHealthy nodeState = iota
+	stateSuspected
+	stateRecovering
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateSuspected:
+		return "suspected"
+	case stateRecovering:
+		return "recovering"
+	default:
+		return "healthy"
+	}
+}
+
+// handle is the frontend's per-node state: wire client, speed estimate,
+// health, and the two load signals the estimator consumes (our own
+// outstanding work plus the node's last self-reported queue depth).
+type handle struct {
+	id    ring.NodeID
+	speed *stats.EWMA
+
+	mu          sync.Mutex
+	addr        string
+	client      *wire.Client  // rebuilt when the pool width retunes
+	credits     chan struct{} // per-node outstanding cap; nil = unlimited
+	state       nodeState
+	outstanding float64 // sum of in-flight sub-query sizes (this frontend)
+	depth       int     // last remote queue-depth report
+}
+
+// wireClient snapshots the (swappable) client.
+func (h *handle) wireClient() *wire.Client {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.client
+}
+
+func (h *handle) healthState() nodeState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+func (h *handle) isSuspected() bool { return h.healthState() == stateSuspected }
+
+// suspect records a genuine sub-query failure (timeout or transport
+// error that was not a caller cancellation).
+func (h *handle) suspect() {
+	h.mu.Lock()
+	h.state = stateSuspected
+	h.mu.Unlock()
+}
+
+// probeOK records a successful background probe: the node answers RPCs
+// again, so suspicion lifts, but it stays "recovering" until a real
+// sub-query confirms it end to end.
+func (h *handle) probeOK(depth int) {
+	h.mu.Lock()
+	if h.state == stateSuspected {
+		h.state = stateRecovering
+	}
+	h.depth = depth
+	h.mu.Unlock()
+}
+
+// clearSuspicion is probeOK without a depth report — used when a new
+// membership view retains the node, which is the membership layer's
+// assertion that it is worth re-evaluating.
+func (h *handle) clearSuspicion() {
+	h.mu.Lock()
+	if h.state == stateSuspected {
+		h.state = stateRecovering
+	}
+	h.mu.Unlock()
+}
+
+// contactOK records a successful sub-query: full health, whatever the
+// prior state, plus the fresh queue-depth report.
+func (h *handle) contactOK(depth int) {
+	h.mu.Lock()
+	h.state = stateHealthy
+	h.depth = depth
+	h.mu.Unlock()
+}
+
+// loadSnapshot returns state and the estimator's load inputs.
+func (h *handle) loadSnapshot() (nodeState, float64, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.outstanding, h.depth
+}
+
+// suspect marks a node's handle suspected, if it is still in the view.
+func (f *Frontend) suspect(id ring.NodeID) {
+	f.mu.RLock()
+	h := f.nodes[id]
+	f.mu.RUnlock()
+	if h != nil {
+		h.suspect()
+	}
+}
+
+// suspectedSet snapshots the currently suspected nodes (the set the
+// scheduler must plan around and RepairPlan must avoid).
+func (f *Frontend) suspectedSet() map[ring.NodeID]bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[ring.NodeID]bool)
+	for id, h := range f.nodes {
+		if h.isSuspected() {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// MarkFailed flags a node (tests and membership push-downs). Unlike the
+// seed's one-way map, the background probe may clear the mark as soon
+// as the node answers a ping.
+func (f *Frontend) MarkFailed(id ring.NodeID) { f.suspect(id) }
+
+// FailedNodes returns the currently suspected nodes.
+func (f *Frontend) FailedNodes() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []int
+	for id, h := range f.nodes {
+		if h.isSuspected() {
+			out = append(out, int(id))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Health reports every node's health state, for membership reports and
+// operational visibility.
+func (f *Frontend) Health() map[int]string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[int]string, len(f.nodes))
+	for id, h := range f.nodes {
+		out[int(id)] = h.healthState().String()
+	}
+	return out
+}
+
+// probeLoop is the background recovery prober: every probe interval it
+// pings suspected nodes and lifts suspicion from the ones that answer.
+// It runs for the frontend's lifetime; Close stops it.
+func (f *Frontend) probeLoop() {
+	for {
+		f.mu.RLock()
+		iv := f.tune.probeInterval
+		f.mu.RUnlock()
+		wait := iv
+		if wait <= 0 {
+			wait = defaultProbeInterval
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(wait):
+		}
+		if iv < 0 {
+			continue // probing disabled; keep watching for retuning
+		}
+		f.probeSuspects(wait)
+	}
+}
+
+// probeSuspects pings every suspected node concurrently, bounding each
+// probe by the probe interval (capped at 1s).
+func (f *Frontend) probeSuspects(timeout time.Duration) {
+	if timeout > time.Second {
+		timeout = time.Second
+	}
+	f.mu.RLock()
+	var suspects []*handle
+	for _, h := range f.nodes {
+		if h.isSuspected() {
+			suspects = append(suspects, h)
+		}
+	}
+	f.mu.RUnlock()
+	if len(suspects) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, h := range suspects {
+		wg.Add(1)
+		go func(h *handle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			var pr proto.PingResp
+			if err := h.wireClient().Call(ctx, proto.MNodePing, nil, &pr); err != nil {
+				return // still unreachable; stay suspected
+			}
+			h.probeOK(pr.QueueDepth)
+		}(h)
+	}
+	wg.Wait()
+}

@@ -45,8 +45,10 @@ type Node struct {
 	queries   atomic.Int64
 	scanned   atomic.Int64
 	busyNanos atomic.Int64
+	canceled  atomic.Int64 // sub-queries aborted by caller cancellation
 	inflight  atomic.Int64
 	peak      atomic.Int64 // high-water mark of concurrent queries
+	delay     atomic.Int64 // injected per-query latency (tests/experiments)
 	started   time.Time
 }
 
@@ -66,6 +68,16 @@ func New(cfg Config) (*Node, error) {
 // harnesses load data directly through it).
 func (n *Node) Store() *store.Store { return n.store }
 
+// SetDelay injects d of extra latency into every subsequent Query —
+// a slow-but-alive node, as opposed to a killed one. The sleep honours
+// the caller's context, so cancelled (hedged-away) sub-queries abort
+// promptly. Tests and the tail-latency experiments drive this at
+// runtime; d = 0 removes the delay.
+func (n *Node) SetDelay(d time.Duration) { n.delay.Store(int64(d)) }
+
+// QueueDepth reports the number of sub-queries currently executing.
+func (n *Node) QueueDepth() int { return int(n.inflight.Load()) }
+
 // Query matches the encrypted query against stored objects in (lo, hi].
 func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, error) {
 	start := time.Now()
@@ -80,6 +92,14 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 	if n.cfg.FixedQueryCost > 0 {
 		time.Sleep(n.cfg.FixedQueryCost)
 	}
+	if d := time.Duration(n.delay.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			n.canceled.Add(1)
+			return proto.QueryResp{}, ctx.Err()
+		}
+	}
 	opts := store.MatchOptions{Threads: n.cfg.MatchThreads, BatchSize: n.cfg.BatchSize}
 	if n.cfg.ObjectsPerSec > 0 {
 		perSec := n.cfg.ObjectsPerSec
@@ -89,13 +109,22 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 	}
 	ids, scanned, err := n.store.MatchArc(ctx, n.matcher, req.Q, ring.Norm(req.Lo), ring.Norm(req.Hi), opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			n.canceled.Add(1)
+		}
 		return proto.QueryResp{}, err
 	}
 	el := time.Since(start)
 	n.queries.Add(1)
 	n.scanned.Add(int64(scanned))
 	n.busyNanos.Add(int64(el))
-	return proto.QueryResp{IDs: ids, Scanned: scanned, MatchNanos: int64(el)}, nil
+	// Depth excludes this (finished) sub-query: it is the load a new
+	// arrival would queue behind.
+	depth := int(n.inflight.Load()) - 1
+	if depth < 0 {
+		depth = 0
+	}
+	return proto.QueryResp{IDs: ids, Scanned: scanned, MatchNanos: int64(el), QueueDepth: depth}, nil
 }
 
 // Put stores replica records.
@@ -125,6 +154,7 @@ func (n *Node) Stats() proto.StatsResp {
 		BusyNanos:       n.busyNanos.Load(),
 		UptimeSecs:      time.Since(n.started).Seconds(),
 		PeakConcurrency: n.peak.Load(),
+		Canceled:        n.canceled.Load(),
 	}
 }
 
@@ -163,8 +193,18 @@ func (n *Node) Serve(addr string) (*wire.Server, error) {
 	d.Register(proto.MNodeStats, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
 		return n.Stats(), nil
 	})
-	d.Register(proto.MNodePing, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
-		return struct{}{}, nil
+	d.Register(proto.MNodePing, func(ctx context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+		// The injected delay models a stalled machine, which answers
+		// probes as slowly as queries — a recovery probe must not see
+		// a healthy node while Query traffic is still timing out.
+		if d := time.Duration(n.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return proto.PingResp{QueueDepth: n.QueueDepth()}, nil
 	})
 	return wire.Serve(addr, d.Handle)
 }

@@ -52,6 +52,7 @@ type FEQueryResp struct {
 	QueueNanos int64    `json:"queue_ns"` // admission-control wait
 	SubQueries int      `json:"sub_queries"`
 	Failures   int      `json:"failures"` // failed sub-queries recovered
+	Hedges     int      `json:"hedges"`   // speculative re-dispatches launched
 }
 
 // QueryReq asks a node to match the encrypted query against its stored
@@ -71,6 +72,18 @@ type QueryResp struct {
 	// MatchNanos is pure matching time on the node, for the delay
 	// breakdown of Fig 7.11.
 	MatchNanos int64 `json:"match_ns"`
+	// QueueDepth is the number of OTHER sub-queries executing on the
+	// node when this response was produced. Frontends fold it into
+	// their finish-time estimates so a node backed up by competing
+	// frontends is scheduled around before its own EWMA degrades.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// PingResp answers a liveness/recovery probe (MNodePing) with the
+// node's current load, so a recovering node rejoins the schedule with a
+// realistic queue estimate instead of a blank slate.
+type PingResp struct {
+	QueueDepth int `json:"queue_depth"`
 }
 
 // PutReq pushes replica records to a node (the backend update server
@@ -116,6 +129,9 @@ type StatsResp struct {
 	// executing sub-queries, evidence that frontend dispatch actually
 	// overlaps work on the node.
 	PeakConcurrency int64 `json:"peak_concurrency,omitempty"`
+	// Canceled counts sub-queries aborted mid-match because the caller
+	// cancelled (hedge losses, client disconnects).
+	Canceled int64 `json:"canceled,omitempty"`
 }
 
 // NodeInfo describes one node's placement for frontend consumption.
@@ -139,6 +155,20 @@ type Tuning struct {
 	DispatchWorkers int `json:"dispatch_workers,omitempty"`
 	// QueueTimeoutNanos bounds the admission-queue wait.
 	QueueTimeoutNanos int64 `json:"queue_timeout_ns,omitempty"`
+	// NodeMaxOutstanding caps in-flight sub-queries per node per
+	// frontend (per-node backpressure: a slow node stalls only its own
+	// dispatch stream, not the global worker pool).
+	NodeMaxOutstanding int `json:"node_max_outstanding,omitempty"`
+	// HedgeDelayNanos re-dispatches a still-unanswered sub-query onto
+	// replica nodes after this delay (0 leaves the frontend's own
+	// configuration in force).
+	HedgeDelayNanos int64 `json:"hedge_delay_ns,omitempty"`
+	// HedgeQuantile, in (0, 1), derives the hedge delay adaptively from
+	// that quantile of recently observed sub-query latencies.
+	HedgeQuantile float64 `json:"hedge_quantile,omitempty"`
+	// ProbeIntervalNanos is the cadence of the background recovery
+	// probe that re-evaluates suspected nodes.
+	ProbeIntervalNanos int64 `json:"probe_interval_ns,omitempty"`
 }
 
 // View is the membership server's cluster snapshot: everything a

@@ -69,12 +69,14 @@ func TestFrontendMessages(t *testing.T) {
 		QueueNanos: 1234,
 		SubQueries: 7,
 		Failures:   2,
+		Hedges:     1,
 	})
 }
 
 func TestNodeQueryMessages(t *testing.T) {
 	roundTrip(t, QueryReq{QID: 9, Lo: 0.125, Hi: 0.875, Q: testQuery(t)})
-	roundTrip(t, QueryResp{IDs: []uint64{3, 1}, Scanned: 400, MatchNanos: 55})
+	roundTrip(t, QueryResp{IDs: []uint64{3, 1}, Scanned: 400, MatchNanos: 55, QueueDepth: 3})
+	roundTrip(t, PingResp{QueueDepth: 2})
 }
 
 func TestNodeDataMessages(t *testing.T) {
@@ -84,7 +86,7 @@ func TestNodeDataMessages(t *testing.T) {
 	roundTrip(t, RetainReq{Start: 0.25, Length: 0.5, P: 4})
 	roundTrip(t, RetainResp{Dropped: 3, Remaining: 7})
 	roundTrip(t, StatsResp{Objects: 9, Queries: 100, Scanned: 5000,
-		BusyNanos: 777, UptimeSecs: 3.5, PeakConcurrency: 16})
+		BusyNanos: 777, UptimeSecs: 3.5, PeakConcurrency: 16, Canceled: 4})
 }
 
 func TestMembershipMessages(t *testing.T) {
@@ -99,7 +101,11 @@ func TestMembershipMessages(t *testing.T) {
 func TestViewAndTuning(t *testing.T) {
 	roundTrip(t, Tuning{
 		PoolSize: 4, MaxInFlight: 64, DispatchWorkers: 128,
-		QueueTimeoutNanos: int64(2 * time.Second),
+		QueueTimeoutNanos:  int64(2 * time.Second),
+		NodeMaxOutstanding: 8,
+		HedgeDelayNanos:    int64(50 * time.Millisecond),
+		HedgeQuantile:      0.95,
+		ProbeIntervalNanos: int64(time.Second),
 	})
 	roundTrip(t, View{
 		Epoch: 5, P: 3,

@@ -9,8 +9,11 @@
 // stripe calls round-robin across the pool so request writes are not
 // serialised behind one mutex at high concurrency, and give every call
 // its own deadline; a timed-out call returns promptly to the caller
-// while its connection survives. A connection that errors is evicted
-// from the pool and lazily redialled.
+// while its connection survives. An abandoned call (deadline, or a
+// hedged request that lost its race) additionally sends an in-band
+// cancel frame so the server stops the handler instead of computing an
+// answer nobody will read. A connection that errors is evicted from the
+// pool and lazily redialled.
 package wire
 
 import (
@@ -29,6 +32,14 @@ import (
 
 // MaxFrame bounds a single message (16 MiB) to fail fast on corruption.
 const MaxFrame = 16 << 20
+
+// cancelMethod is the reserved in-band control method a client sends
+// when it abandons a call (deadline, or a hedged request lost the
+// race). The frame's ID names the request to cancel; the server cancels
+// that request's context and sends no response. Handlers that honour
+// their context (the node's matcher does) stop wasting work on answers
+// nobody is waiting for.
+const cancelMethod = "wire.cancel"
 
 // frame is the on-the-wire envelope.
 type frame struct {
@@ -156,14 +167,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wmu sync.Mutex // serialises response frames
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// In-progress requests on this connection, so a cancel frame can
+	// abort the matching handler's context mid-flight.
+	var rmu sync.Mutex
+	running := make(map[uint64]context.CancelFunc)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
 			return
 		}
-		go func(req *frame) {
+		if f.Type == cancelMethod {
+			rmu.Lock()
+			if abort, ok := running[f.ID]; ok {
+				abort()
+			}
+			rmu.Unlock()
+			continue // control frame: no handler, no response
+		}
+		rctx, rcancel := context.WithCancel(ctx)
+		rmu.Lock()
+		running[f.ID] = rcancel
+		rmu.Unlock()
+		go func(req *frame, rctx context.Context, rcancel context.CancelFunc) {
+			defer func() {
+				rmu.Lock()
+				delete(running, req.ID)
+				rmu.Unlock()
+				rcancel()
+			}()
 			resp := frame{ID: req.ID}
-			out, err := s.handler(ctx, req.Type, req.Body)
+			out, err := s.handler(rctx, req.Type, req.Body)
 			if err != nil {
 				resp.Err = err.Error()
 			} else if out != nil {
@@ -177,7 +210,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			wmu.Lock()
 			defer wmu.Unlock()
 			_ = writeFrame(conn, &resp)
-		}(f)
+		}(f, rctx, rcancel)
 	}
 }
 
@@ -405,6 +438,13 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 		cc.pmu.Lock()
 		delete(cc.pending, id)
 		cc.pmu.Unlock()
+		// Tell the server the answer is unwanted (hedge loss, deadline)
+		// so it can stop the handler. Best effort: a write failure here
+		// just means the connection is already dying.
+		cancelFrame := frame{ID: id, Type: cancelMethod}
+		cc.wmu.Lock()
+		_ = writeFrame(cc.conn, &cancelFrame)
+		cc.wmu.Unlock()
 		return ctx.Err()
 	case f := <-ch:
 		if f.Err != "" {

@@ -219,3 +219,63 @@ func TestBadFrameRejected(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestCancelPropagatesToServer pins the hedge-loss path: when a caller
+// abandons a Call (context cancelled), the server-side handler's context
+// is cancelled too, instead of the handler running to completion for an
+// answer nobody is waiting on.
+func TestCancelPropagatesToServer(t *testing.T) {
+	started := make(chan struct{}, 1)
+	aborted := make(chan struct{}, 1)
+	d := NewDispatcher()
+	d.Register("block", func(ctx context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			aborted <- struct{}{}
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("handler never cancelled")
+		}
+	})
+	s, err := Serve("127.0.0.1:0", d.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(s.Addr())
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	callErr := make(chan error, 1)
+	go func() { callErr <- c.Call(ctx, "block", nil, nil) }()
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never started")
+	}
+	cancel()
+	if err := <-callErr; err != context.Canceled {
+		t.Fatalf("Call returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-aborted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server handler context was never cancelled")
+	}
+	// The connection must survive the cancellation for subsequent calls.
+	var resp echoResp
+	d.Register("echo", func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Msg: req.Msg}, nil
+	})
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "still-alive"}, &resp); err != nil {
+		t.Fatalf("call after cancel: %v", err)
+	}
+	if resp.Msg != "still-alive" {
+		t.Errorf("echo after cancel = %q", resp.Msg)
+	}
+}
