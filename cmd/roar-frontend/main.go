@@ -8,7 +8,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -90,9 +89,9 @@ func main() {
 	}()
 
 	d := wire.NewDispatcher()
-	d.Register(proto.MFEQuery, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MFEQuery, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.FEQueryReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		res, err := fe.Execute(ctx, req.Q)

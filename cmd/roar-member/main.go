@@ -7,7 +7,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,33 +35,33 @@ func main() {
 	defer coord.Close()
 
 	d := wire.NewDispatcher()
-	d.Register(proto.MMemberJoin, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberJoin, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.JoinReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		return coord.Join(ctx, req.Addr, req.SpeedHint)
 	})
-	d.Register(proto.MMemberLeave, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberLeave, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.LeaveReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		return struct{}{}, coord.Leave(ctx, ring.NodeID(req.ID))
 	})
-	d.Register(proto.MMemberView, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberView, func(_ context.Context, _ string, _ wire.Body) (interface{}, error) {
 		return coord.View(), nil
 	})
-	d.Register(proto.MMemberSetP, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberSetP, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.SetPReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		return struct{}{}, coord.ChangeP(ctx, req.P)
 	})
-	d.Register(proto.MMemberLoad, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberLoad, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.LoadReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		recs, err := store.LoadFile(req.Path)
@@ -74,9 +73,9 @@ func main() {
 		}
 		return proto.LoadResp{Records: len(recs)}, nil
 	})
-	d.Register(proto.MMemberReport, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MMemberReport, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.ReportReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		speeds := map[ring.NodeID]float64{}

@@ -227,7 +227,7 @@ func (f *Frontend) probeSuspects(timeout time.Duration) {
 			ctx, cancel := context.WithTimeout(context.Background(), timeout)
 			defer cancel()
 			var pr proto.PingResp
-			if err := h.wireClient().Call(ctx, proto.MNodePing, nil, &pr); err != nil {
+			if err := h.wireClient().Call(ctx, proto.MNodePing, proto.PingReq{}, &pr); err != nil {
 				return // still unreachable; stay suspected
 			}
 			h.probeOK(pr.QueueDepth)

@@ -7,7 +7,6 @@ package node
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -103,8 +102,19 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 	opts := store.MatchOptions{Threads: n.cfg.MatchThreads, BatchSize: n.cfg.BatchSize}
 	if n.cfg.ObjectsPerSec > 0 {
 		perSec := n.cfg.ObjectsPerSec
-		opts.Limiter = func(k int) {
-			time.Sleep(time.Duration(float64(k) / perSec * float64(time.Second)))
+		opts.Limiter = func(ctx context.Context, k int) error {
+			// The emulated scan time must abort the moment the caller
+			// cancels (hedge loss, client deadline): a cancelled sub-query
+			// sleeping out its throttle would hold the matching thread
+			// exactly when the frontend has already re-dispatched the work.
+			t := time.NewTimer(time.Duration(float64(k) / perSec * float64(time.Second)))
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 	}
 	ids, scanned, err := n.store.MatchArc(ctx, n.matcher, req.Q, ring.Norm(req.Lo), ring.Norm(req.Hi), opts)
@@ -159,41 +169,43 @@ func (n *Node) Stats() proto.StatsResp {
 }
 
 // Serve exposes the node over TCP on addr ("127.0.0.1:0" for ephemeral).
+// The two hot methods (query, put) decode their bodies through the
+// negotiated codec — binary on upgraded connections, JSON otherwise.
 func (n *Node) Serve(addr string) (*wire.Server, error) {
 	d := wire.NewDispatcher()
-	d.Register(proto.MNodeQuery, func(ctx context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodeQuery, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.QueryReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("node: bad query request: %w", err)
 		}
 		return n.Query(ctx, req)
 	})
-	d.Register(proto.MNodePut, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodePut, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.PutReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("node: bad put request: %w", err)
 		}
 		return n.Put(req), nil
 	})
-	d.Register(proto.MNodeDelete, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodeDelete, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.DeleteReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("node: bad delete request: %w", err)
 		}
 		n.Delete(req)
 		return struct{}{}, nil
 	})
-	d.Register(proto.MNodeRetain, func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodeRetain, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.RetainReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("node: bad retain request: %w", err)
 		}
 		return n.Retain(req), nil
 	})
-	d.Register(proto.MNodeStats, func(_ context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodeStats, func(_ context.Context, _ string, _ wire.Body) (interface{}, error) {
 		return n.Stats(), nil
 	})
-	d.Register(proto.MNodePing, func(ctx context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+	d.Register(proto.MNodePing, func(ctx context.Context, _ string, _ wire.Body) (interface{}, error) {
 		// The injected delay models a stalled machine, which answers
 		// probes as slowly as queries — a recovery probe must not see
 		// a healthy node while Query traffic is still timing out.

@@ -1,8 +1,10 @@
 package pps
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Bloom implements Goh's secure-index keyword scheme (§5.5.2, "Bloom-
@@ -18,6 +20,21 @@ type Bloom struct {
 	mBits    int      // filter size in bits
 	r        int      // hash count
 	maxWords int      // design load
+
+	// enc pools reusable encode states: r kernels pre-keyed with the
+	// sub-keys plus one blinding kernel re-keyed per document by the
+	// nonce. EncryptMetadata is the write-side hot path (replica pushes
+	// encrypt whole corpora); the pool keeps it allocation-free past the
+	// filter itself while staying safe for concurrent encoders.
+	enc sync.Pool
+}
+
+// encState is one pooled encode scratch (see Bloom.enc).
+type encState struct {
+	sub   []prfKernel       // keyed once by the scheme sub-keys
+	blind prfKernel         // keyed per document by the nonce
+	word  []byte            // string→bytes scratch
+	td    [sha256.Size]byte // trapdoor element scratch
 }
 
 // BloomConfig sizes the filter.
@@ -51,7 +68,16 @@ func NewBloom(k MasterKey, cfg BloomConfig) *Bloom {
 	for i := range sub {
 		sub[i] = k.Derive(fmt.Sprintf("bloom-%d", i))
 	}
-	return &Bloom{subkeys: sub, mBits: cfg.MaxWords * cfg.BitsPerWord, r: cfg.Hashes, maxWords: cfg.MaxWords}
+	s := &Bloom{subkeys: sub, mBits: cfg.MaxWords * cfg.BitsPerWord, r: cfg.Hashes, maxWords: cfg.MaxWords}
+	s.enc.New = func() interface{} {
+		st := &encState{sub: make([]prfKernel, len(s.subkeys))}
+		for i := range st.sub {
+			st.sub[i].setKey(s.subkeys[i])
+		}
+		st.blind.init()
+		return st
+	}
+	return s
 }
 
 // MBits returns the filter size in bits (for overhead accounting).
@@ -96,12 +122,17 @@ func (s *Bloom) EncryptMetadata(words []string) (BloomMetadata, error) {
 		return BloomMetadata{}, err
 	}
 	filter := make([]byte, (s.mBits+7)/8)
+	st := s.enc.Get().(*encState)
+	st.blind.setKey(rnd)
+	mBits := uint64(s.mBits)
 	for _, w := range words {
-		q := s.EncryptQuery(w)
-		for _, x := range q.Trapdoor {
-			setBit(filter, s.codeword(rnd, x))
+		st.word = append(st.word[:0], w...)
+		for i := range st.sub {
+			x := st.sub[i].sumInto(st.word, st.td[:0])
+			setBit(filter, int(st.blind.sum64(x)%mBits))
 		}
 	}
+	s.enc.Put(st)
 	return BloomMetadata{Nonce: rnd, Filter: filter}, nil
 }
 

@@ -11,9 +11,11 @@ type ServerParams struct {
 	MBits int
 }
 
-// matchBloomBits is the shared server-side matching kernel used by both
-// the client-side Bloom scheme and the keyless Matcher, so the two can
-// never diverge.
+// matchBloomBits is the generic (allocating) server-side matching
+// reference used by MatchOne. The hot path lives in Run, which evaluates
+// the same function through a reusable zero-allocation PRF kernel; this
+// form is kept as the plain-Go oracle the kernel is tested (and
+// benchmarked, BenchmarkMatchKernel/legacy) against.
 func matchBloomBits(mBits int, q BloomQuery, m BloomMetadata) bool {
 	for _, x := range q.Trapdoor {
 		pos := int(prfUint64(m.Nonce, x) % uint64(mBits))
@@ -38,7 +40,9 @@ func NewMatcher(p ServerParams) (*Matcher, error) {
 	return &Matcher{mBits: p.MBits}, nil
 }
 
-// MatchOne evaluates a single predicate.
+// MatchOne evaluates a single predicate. One-shot convenience: it pays
+// a fresh HMAC key schedule per hash evaluation. Batch callers should
+// use a Run, whose kernel amortises keying per record.
 func (m *Matcher) MatchOne(q BloomQuery, md BloomMetadata) bool {
 	return matchBloomBits(m.mBits, q, md)
 }
@@ -52,21 +56,27 @@ const SelectivitySamples = 225
 // ordering (§5.6.5): the first SelectivitySamples records are matched
 // against every predicate while counting per-predicate selectivity;
 // afterwards predicates are sorted (most selective first for AND, least
-// selective first for OR) and evaluation short-circuits. Run is not safe
-// for concurrent use; create one per matching thread and merge counts,
-// or share one behind the store's batching. The cheap path — a settled
-// order with short-circuit evaluation — dominates.
+// selective first for OR) and evaluation short-circuits.
+//
+// Run owns a reusable PRF kernel, re-keyed once per record by the record
+// nonce, so the settled-order steady state performs zero heap
+// allocations per record. Run is not safe for concurrent use; create
+// one per matching thread and merge results, or share one behind the
+// store's batching.
 type Run struct {
 	m       *Matcher
 	q       Query
 	counts  []int // matches per predicate during sampling
 	sampled int
 	order   []int // settled evaluation order (nil until settled)
+	prf     prfKernel
 }
 
 // NewRun starts the matching state for one query.
 func (m *Matcher) NewRun(q Query) *Run {
-	return &Run{m: m, q: q, counts: make([]int, len(q.Preds))}
+	r := &Run{m: m, q: q, counts: make([]int, len(q.Preds))}
+	r.prf.init()
+	return r
 }
 
 // Sampled reports how many records contributed to selectivity estimates.
@@ -75,13 +85,26 @@ func (r *Run) Sampled() int { return r.sampled }
 // Order returns the settled predicate order, or nil while sampling.
 func (r *Run) Order() []int { return r.order }
 
+// evalPred checks one predicate against the record the kernel is
+// currently keyed for (setKey(md.Nonce) must precede it).
+func (r *Run) evalPred(q BloomQuery, filter []byte) bool {
+	mBits := uint64(r.m.mBits)
+	for _, x := range q.Trapdoor {
+		if !getBit(filter, int(r.prf.sum64(x)%mBits)) {
+			return false
+		}
+	}
+	return true
+}
+
 // Match evaluates the full query against one record.
 func (r *Run) Match(md BloomMetadata) bool {
 	if len(r.q.Preds) == 0 {
 		return false
 	}
+	r.prf.setKey(md.Nonce)
 	if len(r.q.Preds) == 1 {
-		return r.m.MatchOne(r.q.Preds[0], md)
+		return r.evalPred(r.q.Preds[0], md.Filter)
 	}
 	if r.order == nil {
 		return r.sampleMatch(md)
@@ -89,12 +112,25 @@ func (r *Run) Match(md BloomMetadata) bool {
 	return r.orderedMatch(md)
 }
 
+// MatchBatch evaluates the query against a batch of records, appending
+// matching IDs to out and returning the extended slice. It is the
+// store's §5.6.3 consumer entry point: with a settled order and a
+// pre-grown out slice the whole scan is allocation-free.
+func (r *Run) MatchBatch(recs []Encoded, out []uint64) []uint64 {
+	for i := range recs {
+		if r.Match(recs[i].BloomMetadata) {
+			out = append(out, recs[i].ID)
+		}
+	}
+	return out
+}
+
 func (r *Run) sampleMatch(md BloomMetadata) bool {
 	// Evaluate every predicate to learn selectivities.
 	all := true
 	any := false
-	for i, p := range r.q.Preds {
-		if r.m.MatchOne(p, md) {
+	for i := range r.q.Preds {
+		if r.evalPred(r.q.Preds[i], md.Filter) {
 			r.counts[i]++
 			any = true
 		} else {
@@ -129,14 +165,14 @@ func (r *Run) settle() {
 func (r *Run) orderedMatch(md BloomMetadata) bool {
 	if r.q.Op == And {
 		for _, i := range r.order {
-			if !r.m.MatchOne(r.q.Preds[i], md) {
+			if !r.evalPred(r.q.Preds[i], md.Filter) {
 				return false
 			}
 		}
 		return true
 	}
 	for _, i := range r.order {
-		if r.m.MatchOne(r.q.Preds[i], md) {
+		if r.evalPred(r.q.Preds[i], md.Filter) {
 			return true
 		}
 	}
@@ -148,11 +184,5 @@ func (r *Run) orderedMatch(md BloomMetadata) bool {
 // dynamic ordering is exercised exactly as a server would.
 func (m *Matcher) MatchAll(q Query, mds []Encoded) []uint64 {
 	run := m.NewRun(q)
-	var out []uint64
-	for i := range mds {
-		if run.Match(mds[i].BloomMetadata) {
-			out = append(out, mds[i].ID)
-		}
-	}
-	return out
+	return run.MatchBatch(mds, nil)
 }

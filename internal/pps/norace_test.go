@@ -1,0 +1,5 @@
+//go:build !race
+
+package pps
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pps
+
+// raceEnabled skips allocation-count assertions under -race: the race
+// detector instruments allocations, so AllocsPerRun measures the
+// instrumentation, not the kernel.
+const raceEnabled = true

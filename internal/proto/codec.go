@@ -1,0 +1,335 @@
+// Binary hot-path body codecs (wire framing version 1). The five bodies
+// encoded here carry nearly all of the cluster's steady-state bytes:
+// sub-query fan-out (QueryReq/QueryResp, sent p times per query),
+// replica pushes (PutReq, once per stored record), and the liveness
+// probes that gate failure recovery (PingReq/PingResp). JSON spends
+// 4/3× on base64 for every trapdoor, nonce and filter and ~20 decimal
+// characters per object id; these encodings ship raw bytes, varints,
+// and delta-compressed sorted id sets instead. Everything else —
+// membership, stats, retain — stays JSON inside the binary envelope
+// (see internal/wire/codec.go), which is also the whole-connection
+// fallback for mixed-version clusters.
+//
+// Encoders use value receivers (bodies are passed to wire.Call by
+// value); decoders use pointer receivers and copy every byte slice they
+// retain, because the input aliases a pooled read buffer.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"roar/internal/pps"
+)
+
+// appendZigzag appends a signed integer in zigzag-uvarint form.
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64((v<<1)^(v>>63)))
+}
+
+// reader is a bounds-checked cursor over one body.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("proto: truncated or corrupt %s", what)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) zigzag(what string) int64 {
+	u := r.uvarint(what)
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// bytes reads a uvarint-length-prefixed byte string and COPIES it (the
+// underlying buffer is pooled).
+func (r *reader) bytes(what string) []byte {
+	l := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.data)-r.off) < l {
+		r.fail(what)
+		return nil
+	}
+	if l == 0 {
+		return nil
+	}
+	out := make([]byte, l)
+	copy(out, r.data[r.off:])
+	r.off += int(l)
+	return out
+}
+
+// remaining reports unread bytes; a strict decoder rejects trailers.
+func (r *reader) finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("proto: %d trailing bytes after %s", len(r.data)-r.off, what)
+	}
+	return nil
+}
+
+// count guards a declared element count against the bytes actually
+// present (each element needs at least minBytes on the wire). Decoders
+// additionally grow their slices incrementally from a capped capacity
+// hint, because in-memory element sizes dwarf wire minimums — a corrupt
+// count must not provoke a huge up-front allocation.
+func (r *reader) count(what string, minBytes int) int {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64((len(r.data)-r.off)/minBytes+1) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+// capHint bounds the initial capacity of a decoded slice; growth past
+// it is paid only as real elements parse successfully.
+func capHint(n int) int {
+	const maxHint = 1024
+	if n > maxHint {
+		return maxHint
+	}
+	return n
+}
+
+// --- id set encoding ---
+
+// Sorted ascending id sets are delta-compressed (flag 1): first value
+// absolute, then gaps. Unsorted sets fall back to absolute uvarints
+// (flag 0) — correctness never depends on sortedness.
+const (
+	idsAbsolute = byte(0)
+	idsDelta    = byte(1)
+)
+
+func appendIDs(b []byte, ids []uint64) []byte {
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		b = append(b, idsDelta)
+		b = binary.AppendUvarint(b, uint64(len(ids)))
+		prev := uint64(0)
+		for i, id := range ids {
+			if i == 0 {
+				b = binary.AppendUvarint(b, id)
+			} else {
+				b = binary.AppendUvarint(b, id-prev)
+			}
+			prev = id
+		}
+		return b
+	}
+	b = append(b, idsAbsolute)
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, id)
+	}
+	return b
+}
+
+func (r *reader) ids(what string) []uint64 {
+	flag := r.byte(what)
+	if r.err == nil && flag != idsAbsolute && flag != idsDelta {
+		r.fail(what + " encoding flag")
+		return nil
+	}
+	n := r.count(what, 1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, capHint(n))
+	prev := uint64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		v := r.uvarint(what)
+		if flag == idsDelta && i > 0 {
+			v += prev
+		}
+		out = append(out, v)
+		prev = v
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// --- QueryReq ---
+
+// AppendWire implements wire.WireAppender.
+func (q QueryReq) AppendWire(b []byte) []byte {
+	b = binary.AppendUvarint(b, q.QID)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(q.Lo))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(q.Hi))
+	b = append(b, byte(q.Q.Op))
+	b = binary.AppendUvarint(b, uint64(len(q.Q.Preds)))
+	for _, p := range q.Q.Preds {
+		b = binary.AppendUvarint(b, uint64(len(p.Trapdoor)))
+		for _, x := range p.Trapdoor {
+			b = binary.AppendUvarint(b, uint64(len(x)))
+			b = append(b, x...)
+		}
+	}
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (q *QueryReq) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	q.QID = r.uvarint("QueryReq.QID")
+	q.Lo = math.Float64frombits(r.u64("QueryReq.Lo"))
+	q.Hi = math.Float64frombits(r.u64("QueryReq.Hi"))
+	q.Q.Op = pps.BoolOp(r.byte("QueryReq.Op"))
+	nPreds := r.count("QueryReq.Preds", 1)
+	q.Q.Preds = nil
+	if nPreds > 0 && r.err == nil {
+		q.Q.Preds = make([]pps.BloomQuery, 0, capHint(nPreds))
+		for i := 0; i < nPreds && r.err == nil; i++ {
+			nTd := r.count("QueryReq.Trapdoor", 1)
+			if r.err != nil {
+				break
+			}
+			td := make([][]byte, 0, capHint(nTd))
+			for j := 0; j < nTd && r.err == nil; j++ {
+				td = append(td, r.bytes("QueryReq.Trapdoor element"))
+			}
+			q.Q.Preds = append(q.Q.Preds, pps.BloomQuery{Trapdoor: td})
+		}
+	}
+	return r.finish("QueryReq")
+}
+
+// --- QueryResp ---
+
+// AppendWire implements wire.WireAppender.
+func (q QueryResp) AppendWire(b []byte) []byte {
+	b = appendZigzag(b, int64(q.Scanned))
+	b = appendZigzag(b, q.MatchNanos)
+	b = appendZigzag(b, int64(q.QueueDepth))
+	b = appendIDs(b, q.IDs)
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (q *QueryResp) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	q.Scanned = int(r.zigzag("QueryResp.Scanned"))
+	q.MatchNanos = r.zigzag("QueryResp.MatchNanos")
+	q.QueueDepth = int(r.zigzag("QueryResp.QueueDepth"))
+	q.IDs = r.ids("QueryResp.IDs")
+	return r.finish("QueryResp")
+}
+
+// --- PutReq ---
+
+// AppendWire implements wire.WireAppender.
+func (p PutReq) AppendWire(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p.Records)))
+	for _, rec := range p.Records {
+		b = binary.AppendUvarint(b, rec.ID)
+		b = binary.AppendUvarint(b, uint64(len(rec.Nonce)))
+		b = append(b, rec.Nonce...)
+		b = binary.AppendUvarint(b, uint64(len(rec.Filter)))
+		b = append(b, rec.Filter...)
+	}
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (p *PutReq) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	n := r.count("PutReq.Records", 3)
+	p.Records = nil
+	if n > 0 && r.err == nil {
+		p.Records = make([]pps.Encoded, 0, capHint(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			var rec pps.Encoded
+			rec.ID = r.uvarint("PutReq record id")
+			rec.Nonce = r.bytes("PutReq record nonce")
+			rec.Filter = r.bytes("PutReq record filter")
+			p.Records = append(p.Records, rec)
+		}
+	}
+	return r.finish("PutReq")
+}
+
+// --- PingReq / PingResp ---
+
+// AppendWire implements wire.WireAppender (a ping carries no payload;
+// the empty binary body still skips the JSON envelope).
+func (PingReq) AppendWire(b []byte) []byte { return b }
+
+// DecodeWire implements wire.WireDecoder.
+func (*PingReq) DecodeWire(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("proto: %d trailing bytes after PingReq", len(data))
+	}
+	return nil
+}
+
+// AppendWire implements wire.WireAppender.
+func (p PingResp) AppendWire(b []byte) []byte {
+	return appendZigzag(b, int64(p.QueueDepth))
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (p *PingResp) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	p.QueueDepth = int(r.zigzag("PingResp.QueueDepth"))
+	return r.finish("PingResp")
+}

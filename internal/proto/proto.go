@@ -79,6 +79,11 @@ type QueryResp struct {
 	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
+// PingReq is a liveness/recovery probe (MNodePing). It carries no
+// fields; having a named type lets the probe ride the binary hot-path
+// codec instead of a JSON null.
+type PingReq struct{}
+
 // PingResp answers a liveness/recovery probe (MNodePing) with the
 // node's current load, so a recovering node rejoins the schedule with a
 // realistic queue estimate instead of a blank slate.

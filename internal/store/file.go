@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 
 	"roar/internal/pps"
 )
@@ -149,32 +148,7 @@ func MatchFile(ctx context.Context, path string, m *pps.Matcher, q pps.Query, op
 		batch = 256
 	}
 	jobs := make(chan []pps.Encoded, 2*threads)
-	var (
-		wg      sync.WaitGroup
-		outMu   sync.Mutex
-		matched []uint64
-	)
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run := m.NewRun(q)
-			var local []uint64
-			for recs := range jobs {
-				if opts.Limiter != nil {
-					opts.Limiter(len(recs))
-				}
-				for i := range recs {
-					if run.Match(recs[i].BloomMetadata) {
-						local = append(local, recs[i].ID)
-					}
-				}
-			}
-			outMu.Lock()
-			matched = append(matched, local...)
-			outMu.Unlock()
-		}()
-	}
+	pool := runMatchers(ctx, m, q, threads, opts.Limiter, jobs)
 	total, serr := StreamFile(ctx, path, batch, func(recs []pps.Encoded) bool {
 		select {
 		case <-ctx.Done():
@@ -184,9 +158,18 @@ func MatchFile(ctx context.Context, path string, m *pps.Matcher, q pps.Query, op
 		}
 	})
 	close(jobs)
-	wg.Wait()
+	matched, _, limErr := pool.join()
 	if serr != nil {
 		return nil, total, serr
+	}
+	// StreamFile reports nil when the producer callback stops early, and
+	// consumers drain (without matching) after a limiter abort — both are
+	// cancellation, not a complete scan, and must surface as the error.
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
+	if limErr != nil {
+		return nil, total, limErr
 	}
 	return matched, total, nil
 }

@@ -56,22 +56,82 @@ func (s *Store) Len() int {
 }
 
 // Insert adds or replaces records (replica pushes are idempotent).
+// Single-record inserts take the binary-search + shift fast path;
+// batches are sorted and merged in one backward pass, so a replica push
+// or repartition transfer of k records into n stored ones costs
+// O(k log k + n) instead of the O(k·n) memmove of per-record insertion.
 func (s *Store) Insert(recs ...pps.Encoded) {
 	if len(recs) == 0 {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, r := range recs {
-		i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= r.ID })
-		if i < len(s.recs) && s.recs[i].ID == r.ID {
-			s.recs[i] = r
+	if len(recs) == 1 {
+		s.insertOneLocked(recs[0])
+		return
+	}
+	s.mergeLocked(recs)
+}
+
+func (s *Store) insertOneLocked(r pps.Encoded) {
+	i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= r.ID })
+	if i < len(s.recs) && s.recs[i].ID == r.ID {
+		s.recs[i] = r
+		return
+	}
+	s.recs = append(s.recs, pps.Encoded{})
+	copy(s.recs[i+1:], s.recs[i:])
+	s.recs[i] = r
+}
+
+// mergeLocked bulk-inserts a batch: sort a copy by ID (later duplicates
+// win, preserving per-record insertion semantics), then merge with the
+// sorted store from the back in place.
+func (s *Store) mergeLocked(recs []pps.Encoded) {
+	batch := append([]pps.Encoded(nil), recs...)
+	sort.SliceStable(batch, func(a, b int) bool { return batch[a].ID < batch[b].ID })
+	// Dedup equal IDs keeping the last occurrence (stable sort keeps
+	// input order within an ID, so the final write wins).
+	w := 0
+	for i := range batch {
+		if i+1 < len(batch) && batch[i+1].ID == batch[i].ID {
 			continue
 		}
-		s.recs = append(s.recs, pps.Encoded{})
-		copy(s.recs[i+1:], s.recs[i:])
-		s.recs[i] = r
+		batch[w] = batch[i]
+		w++
 	}
+	batch = batch[:w]
+	// Count genuinely new IDs to size the grown slice.
+	fresh := 0
+	for i, j := 0, 0; i < len(batch); i++ {
+		for j < len(s.recs) && s.recs[j].ID < batch[i].ID {
+			j++
+		}
+		if j >= len(s.recs) || s.recs[j].ID != batch[i].ID {
+			fresh++
+		}
+	}
+	old := len(s.recs)
+	s.recs = append(s.recs, make([]pps.Encoded, fresh)...)
+	// Backward merge: read old records from old-1 down, batch from the
+	// end; equal IDs take the batch record (replacement) and consume both.
+	i, j, k := old-1, len(batch)-1, len(s.recs)-1
+	for j >= 0 {
+		switch {
+		case i >= 0 && s.recs[i].ID == batch[j].ID:
+			s.recs[k] = batch[j]
+			i--
+			j--
+		case i >= 0 && s.recs[i].ID > batch[j].ID:
+			s.recs[k] = s.recs[i]
+			i--
+		default:
+			s.recs[k] = batch[j]
+			j--
+		}
+		k--
+	}
+	// Records below i are already in place.
 }
 
 // Delete removes records by id; absent ids are ignored.
@@ -218,8 +278,70 @@ type MatchOptions struct {
 	// Limiter, when set, is invoked by each consumer with the batch
 	// length before matching. The cluster experiments install a
 	// calibrated sleep here to emulate the heterogeneous hardware of
-	// Table 7.1 (see DESIGN.md substitutions).
-	Limiter func(n int)
+	// Table 7.1 (see DESIGN.md substitutions). The limiter receives the
+	// caller's context and must return promptly once it is cancelled
+	// (returning ctx.Err()), so a hedged-away or timed-out sub-query
+	// aborts mid-throttle instead of sleeping out the emulated scan.
+	Limiter func(ctx context.Context, n int) error
+}
+
+// matchPool is the consumer side of the §5.6.3 pipeline, shared by the
+// in-memory MatchArc and the disk-bound MatchFile: `threads` goroutines
+// drain a batch channel through per-thread Runs (each owning a
+// zero-allocation PRF kernel), honouring the optional limiter. A
+// limiter failure aborts that consumer's matching but keeps draining
+// the channel so the producer never blocks; the first such error is
+// surfaced by join, because a partially-scanned arc must never look
+// like a complete answer.
+type matchPool struct {
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	matched []uint64
+	total   int
+	limErr  error
+}
+
+func runMatchers(ctx context.Context, m *pps.Matcher, q pps.Query, threads int, limiter func(context.Context, int) error, jobs <-chan []pps.Encoded) *matchPool {
+	p := &matchPool{}
+	for t := 0; t < threads; t++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			run := m.NewRun(q) // per-thread dynamic predicate ordering
+			local := make([]uint64, 0, 64)
+			n := 0
+			var aborted error
+			for recs := range jobs {
+				if aborted != nil {
+					continue // drain the channel so the producer unblocks
+				}
+				if limiter != nil {
+					if err := limiter(ctx, len(recs)); err != nil {
+						aborted = err
+						continue
+					}
+				}
+				local = run.MatchBatch(recs, local)
+				n += len(recs)
+			}
+			p.mu.Lock()
+			p.matched = append(p.matched, local...)
+			p.total += n
+			if aborted != nil && p.limErr == nil {
+				p.limErr = aborted
+			}
+			p.mu.Unlock()
+		}()
+	}
+	return p
+}
+
+// join waits for the consumers (the jobs channel must be closed first)
+// and returns the merged matches, records scanned, and the first
+// limiter error.
+func (p *matchPool) join() ([]uint64, int, error) {
+	p.wg.Wait()
+	return p.matched, p.total, p.limErr
 }
 
 // MatchArc runs the encrypted query against every record in (lo, hi]
@@ -235,38 +357,8 @@ func (s *Store) MatchArc(ctx context.Context, m *pps.Matcher, q pps.Query, lo, h
 	if batch <= 0 {
 		batch = 256
 	}
-	type job struct{ recs []pps.Encoded }
-	jobs := make(chan job, 2*threads)
-	var (
-		wg      sync.WaitGroup
-		outMu   sync.Mutex
-		matched []uint64
-		total   int
-	)
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run := m.NewRun(q) // per-thread dynamic predicate ordering
-			var local []uint64
-			n := 0
-			for j := range jobs {
-				if opts.Limiter != nil {
-					opts.Limiter(len(j.recs))
-				}
-				for i := range j.recs {
-					if run.Match(j.recs[i].BloomMetadata) {
-						local = append(local, j.recs[i].ID)
-					}
-				}
-				n += len(j.recs)
-			}
-			outMu.Lock()
-			matched = append(matched, local...)
-			total += n
-			outMu.Unlock()
-		}()
-	}
+	jobs := make(chan []pps.Encoded, 2*threads)
+	pool := runMatchers(ctx, m, q, threads, opts.Limiter, jobs)
 	// The read lock is held until every consumer drains: batches are
 	// views into the backing array and concurrent inserts would shift it.
 	s.mu.RLock()
@@ -274,15 +366,18 @@ func (s *Store) MatchArc(ctx context.Context, m *pps.Matcher, q pps.Query, lo, h
 		select {
 		case <-ctx.Done():
 			return false
-		case jobs <- job{recs: recs}:
+		case jobs <- recs:
 			return true
 		}
 	}, batch)
 	close(jobs)
-	wg.Wait()
+	matched, total, limErr := pool.join()
 	s.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
 		return nil, total, err
+	}
+	if limErr != nil {
+		return nil, total, limErr
 	}
 	sort.Slice(matched, func(a, b int) bool { return matched[a] < matched[b] })
 	return matched, total, nil

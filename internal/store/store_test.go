@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -247,10 +248,11 @@ func TestMatchArcLimiter(t *testing.T) {
 	limited := 0
 	_, scanned, err := s.MatchArc(context.Background(), m, q, 0.5, 0.4999, MatchOptions{
 		BatchSize: 50,
-		Limiter: func(n int) {
+		Limiter: func(_ context.Context, n int) error {
 			mu.Lock()
 			limited += n
 			mu.Unlock()
+			return nil
 		},
 	})
 	if err != nil {
@@ -259,6 +261,144 @@ func TestMatchArcLimiter(t *testing.T) {
 	if limited != scanned {
 		t.Errorf("limiter saw %d records, scanned %d", limited, scanned)
 	}
+}
+
+// TestMatchArcLimiterCancellation: a context cancelled mid-throttle must
+// abort the scan promptly instead of sleeping out the emulated time
+// (the hedged-away sub-query regression this limiter signature fixes).
+func TestMatchArcLimiterCancellation(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 400)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := s.MatchArc(ctx, m, q, 0.5, 0.4999, MatchOptions{
+		BatchSize: 50,
+		Limiter: func(ctx context.Context, n int) error {
+			// An emulated scan so slow the full arc would take seconds.
+			tm := time.NewTimer(250 * time.Millisecond)
+			defer tm.Stop()
+			select {
+			case <-tm.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled scan should surface an error")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancelled scan took %v; limiter ignored the context", el)
+	}
+}
+
+// TestMatchArcLimiterError: a limiter failure that is NOT a context
+// cancellation must also surface — a partial scan must never return a
+// nil error.
+func TestMatchArcLimiterError(t *testing.T) {
+	s := New()
+	recs, enc := testRecords(t, 200)
+	s.Insert(recs...)
+	m, _ := pps.NewMatcher(enc.ServerParams())
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "odd"})
+	boom := errors.New("limiter exploded")
+	calls := 0
+	_, _, err := s.MatchArc(context.Background(), m, q, 0.5, 0.4999, MatchOptions{
+		BatchSize: 50,
+		Limiter: func(_ context.Context, n int) error {
+			calls++
+			if calls > 1 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("limiter error swallowed: got %v", err)
+	}
+}
+
+// TestInsertBulkMerge: the batch merge path must agree with per-record
+// insertion, including replacements and intra-batch duplicates.
+func TestInsertBulkMerge(t *testing.T) {
+	recs, _ := testRecords(t, 300)
+	one, bulk := New(), New()
+	// Pre-load half, one record at a time.
+	for _, r := range recs[:150] {
+		one.Insert(r)
+		bulk.Insert(r)
+	}
+	// Second wave overlaps the first (replacements) and contains an
+	// intra-batch duplicate ID with different payloads: last must win.
+	wave := append([]pps.Encoded(nil), recs[100:]...)
+	dup := recs[120]
+	dup.Filter = append([]byte(nil), dup.Filter...)
+	dup.Filter[0] ^= 0xff
+	wave = append(wave, dup)
+	for _, r := range wave {
+		one.Insert(r)
+	}
+	bulk.Insert(wave...)
+	if one.Len() != bulk.Len() {
+		t.Fatalf("bulk Len=%d, per-record Len=%d", bulk.Len(), one.Len())
+	}
+	a := one.InArc(0.5, 0.5)
+	b := bulk.InArc(0.5, 0.5)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("record %d: bulk id %d != per-record id %d", i, b[i].ID, a[i].ID)
+		}
+		if string(a[i].Filter) != string(b[i].Filter) {
+			t.Fatalf("record %d (id %d): bulk filter diverges from per-record", i, a[i].ID)
+		}
+	}
+	got, ok := bulk.Get(dup.ID)
+	if !ok || string(got.Filter) != string(dup.Filter) {
+		t.Fatal("intra-batch duplicate: last write did not win")
+	}
+}
+
+// TestInsertBulkFresh: bulk insert into an empty store.
+func TestInsertBulkFresh(t *testing.T) {
+	recs, _ := testRecords(t, 64)
+	s := New()
+	s.Insert(recs...)
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, r := range recs {
+		if _, ok := s.Get(r.ID); !ok {
+			t.Fatalf("record %d missing after bulk insert", r.ID)
+		}
+	}
+}
+
+// BenchmarkInsertBatch contrasts the merge path against per-record
+// insertion for a replica-push-sized batch.
+func BenchmarkInsertBatch(b *testing.B) {
+	recs, _ := testRecords(b, 5000)
+	b.Run("per-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New()
+			for _, r := range recs {
+				s.Insert(r)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New()
+			s.Insert(recs...)
+		}
+	})
 }
 
 func TestConcurrentInsertAndMatch(t *testing.T) {

@@ -1,0 +1,363 @@
+package wire
+
+// Binary hot-path framing. The seed protocol JSON-encoded every frame:
+// the envelope (id/type/err) plus the body, with []byte fields —
+// trapdoors, nonces, Bloom filters — inflated 4/3× by base64 and every
+// uint64 id spelled out in decimal. Those bodies are the two highest-
+// volume flows in the cluster (sub-query fan-out and replica pushes), so
+// the codec tax is paid p times per query and once per stored record.
+//
+// After a per-connection negotiation handshake (see wire.go), frames
+// switch to a hand-rolled length-prefixed binary envelope:
+//
+//	uint32  frame length (excluding itself, bounded by MaxFrame)
+//	byte    kind: 0 request, 1 response, 2 cancel
+//	uvarint id
+//	request:  uvarint method length, method bytes
+//	response: uvarint error length, error bytes
+//	byte    body codec: 0 JSON, 1 binary (absent on cancel)
+//	...     body bytes (the rest of the frame)
+//
+// The body codec byte keeps JSON as the in-envelope fallback: hot bodies
+// implement WireAppender/WireDecoder (internal/proto/codec.go) and ride
+// as raw binary; control messages (stats, views, joins) stay JSON inside
+// the binary envelope, and a peer that never negotiates — an older
+// build — speaks the original all-JSON framing for the whole connection.
+//
+// Frame scratch is pooled: envelopes and bodies are appended into
+// reusable buffers, so the steady-state hot path performs no per-frame
+// envelope allocations on either side.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Version is the highest framing version this build speaks. Version 0
+// is the all-JSON framing; version 1 adds the binary envelope and body
+// codecs.
+const Version = 1
+
+// Frame kinds (binary framing).
+const (
+	kindRequest  = byte(0)
+	kindResponse = byte(1)
+	kindCancel   = byte(2)
+)
+
+// Body codecs.
+const (
+	codecJSON   = byte(0)
+	codecBinary = byte(1)
+)
+
+// WireAppender is implemented by request/response bodies that know how
+// to append their binary hot-path encoding. Value receivers suffice, so
+// bodies passed by value to Call still qualify.
+type WireAppender interface {
+	AppendWire(buf []byte) []byte
+}
+
+// WireDecoder is the decode side, implemented with pointer receivers.
+// Implementations must copy any byte slices they retain: the input
+// aliases a pooled read buffer.
+type WireDecoder interface {
+	DecodeWire(data []byte) error
+}
+
+// Body is a received payload plus the codec it arrived in. Handlers
+// decode it into their request struct with Decode.
+type Body struct {
+	codec byte
+	data  []byte
+}
+
+// JSONBody wraps raw JSON bytes (tests, and the JSON framing path).
+func JSONBody(data []byte) Body { return Body{codec: codecJSON, data: data} }
+
+// Len reports the payload size in bytes.
+func (b Body) Len() int { return len(b.data) }
+
+// Decode unmarshals the payload into v using the codec it arrived in.
+// Binary payloads require v to implement WireDecoder.
+func (b Body) Decode(v interface{}) error {
+	switch b.codec {
+	case codecJSON:
+		if len(b.data) == 0 {
+			return nil
+		}
+		return json.Unmarshal(b.data, v)
+	case codecBinary:
+		d, ok := v.(WireDecoder)
+		if !ok {
+			return fmt.Errorf("wire: %T cannot decode a binary body", v)
+		}
+		return d.DecodeWire(b.data)
+	default:
+		return fmt.Errorf("wire: unknown body codec %d", b.codec)
+	}
+}
+
+// --- pooled frame buffers ---
+
+// bufPool holds frame scratch buffers. Oversized buffers (beyond
+// maxPooledBuf) are dropped rather than pooled, so one giant replica
+// push does not pin its footprint forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// grow returns b resized to n bytes, reallocating only when capacity is
+// short.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// --- frame representation ---
+
+// frame is the internal representation of one message in either
+// framing. Body carries the payload bytes; codec says how to decode
+// them. pooled, when set, is the read buffer Body aliases — release()
+// returns it once the frame's bytes are no longer referenced.
+type frame struct {
+	ID     uint64
+	Type   string // method; empty on responses
+	Err    string // error text on responses
+	kind   byte
+	codec  byte
+	Body   []byte
+	pooled *[]byte
+}
+
+func (f *frame) isCancel() bool { return f.kind == kindCancel }
+
+// release returns the pooled read buffer, if any. Safe to call more
+// than once.
+func (f *frame) release() {
+	if f.pooled != nil {
+		putBuf(f.pooled)
+		f.pooled = nil
+		f.Body = nil
+	}
+}
+
+// jsonFrame is the version-0 on-the-wire envelope.
+type jsonFrame struct {
+	ID   uint64          `json:"id"`
+	Type string          `json:"type"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// --- write path ---
+
+// writeFrame encodes f in the connection's negotiated framing and
+// writes it as one length-prefixed message.
+func writeFrame(w io.Writer, f *frame, binaryMode bool) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	b := (*buf)[:4] // length placeholder
+	if binaryMode {
+		b = append(b, f.kind)
+		b = binary.AppendUvarint(b, f.ID)
+		switch f.kind {
+		case kindRequest:
+			b = binary.AppendUvarint(b, uint64(len(f.Type)))
+			b = append(b, f.Type...)
+		case kindResponse:
+			b = binary.AppendUvarint(b, uint64(len(f.Err)))
+			b = append(b, f.Err...)
+		case kindCancel:
+			// id only
+		default:
+			return fmt.Errorf("wire: encoding unknown frame kind %d", f.kind)
+		}
+		if f.kind != kindCancel {
+			b = append(b, f.codec)
+			b = append(b, f.Body...)
+		}
+	} else {
+		jf := jsonFrame{ID: f.ID, Type: f.Type, Err: f.Err}
+		if len(f.Body) > 0 {
+			if f.codec != codecJSON {
+				return fmt.Errorf("wire: binary body on a JSON-framed connection")
+			}
+			jf.Body = f.Body
+		}
+		enc, err := json.Marshal(&jf)
+		if err != nil {
+			return fmt.Errorf("wire: encoding frame: %w", err)
+		}
+		b = append(b, enc...)
+	}
+	n := len(b) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	*buf = b[:0]
+	return err
+}
+
+// --- read path ---
+
+// readFrame reads one length-prefixed message in the negotiated
+// framing. Binary frames alias a pooled buffer: callers must f.release()
+// once decoded. JSON frames copy during unmarshal and need no release.
+func readFrame(r io.Reader, binaryMode bool) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := getBuf()
+	body := grow(*buf, n)
+	*buf = body
+	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	if !binaryMode {
+		defer putBuf(buf)
+		var jf jsonFrame
+		if err := json.Unmarshal(body, &jf); err != nil {
+			return nil, fmt.Errorf("wire: decoding frame: %w", err)
+		}
+		f := &frame{ID: jf.ID, Type: jf.Type, Err: jf.Err, codec: codecJSON, Body: jf.Body}
+		switch {
+		case jf.Type == cancelMethod:
+			f.kind = kindCancel
+		case jf.Type != "":
+			f.kind = kindRequest
+		default:
+			f.kind = kindResponse
+		}
+		return f, nil
+	}
+	f, err := decodeBinaryFrame(body)
+	if err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	f.pooled = buf
+	return f, nil
+}
+
+// decodeBinaryFrame parses a binary envelope. The returned frame's Body
+// aliases data.
+func decodeBinaryFrame(data []byte) (*frame, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("wire: binary frame of %d bytes too short", len(data))
+	}
+	f := &frame{kind: data[0]}
+	rest := data[1:]
+	id, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: binary frame: bad id varint")
+	}
+	f.ID = id
+	rest = rest[n:]
+	switch f.kind {
+	case kindCancel:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("wire: cancel frame with %d trailing bytes", len(rest))
+		}
+		f.Type = cancelMethod
+		return f, nil
+	case kindRequest:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return nil, fmt.Errorf("wire: binary frame: bad method length")
+		}
+		f.Type = string(rest[n : n+int(l)])
+		rest = rest[n+int(l):]
+	case kindResponse:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return nil, fmt.Errorf("wire: binary frame: bad error length")
+		}
+		f.Err = string(rest[n : n+int(l)])
+		rest = rest[n+int(l):]
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", f.kind)
+	}
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("wire: binary frame missing body codec")
+	}
+	f.codec = rest[0]
+	if f.codec != codecJSON && f.codec != codecBinary {
+		return nil, fmt.Errorf("wire: unknown body codec %d", f.codec)
+	}
+	f.Body = rest[1:]
+	return f, nil
+}
+
+// encodeBody renders v for the wire: binary when the connection speaks
+// it and the value knows how, JSON otherwise. buf is pooled append
+// scratch for the binary path.
+func encodeBody(v interface{}, binaryMode bool, buf []byte) (data []byte, codec byte, err error) {
+	if v == nil {
+		return nil, codecJSON, nil
+	}
+	if binaryMode {
+		if a, ok := v.(WireAppender); ok {
+			return a.AppendWire(buf[:0]), codecBinary, nil
+		}
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, codecJSON, err
+	}
+	return b, codecJSON, nil
+}
+
+// decodeInto decodes a response body into out per the frame's codec.
+func decodeInto(f *frame, out interface{}) error {
+	if out == nil || len(f.Body) == 0 {
+		return nil
+	}
+	return Body{codec: f.codec, data: f.Body}.Decode(out)
+}
+
+// --- negotiation payloads ---
+
+// helloMethod is the reserved version-negotiation method. A client that
+// speaks the binary framing sends it as the first request on every new
+// connection; a server that understands it answers with the agreed
+// version and both sides switch framing. A server that predates it
+// answers "unknown method", and the connection simply stays on JSON —
+// that error path IS the mixed-version downgrade.
+const helloMethod = "wire.hello"
+
+type helloReq struct {
+	Version int `json:"version"`
+}
+
+type helloResp struct {
+	Version int `json:"version"`
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// binBody is a test body speaking the binary codec: a counter plus a
+// blob, enough to prove raw bytes survive.
+type binBody struct {
+	N    uint64 `json:"n"`
+	Blob []byte `json:"blob"`
+}
+
+func (b binBody) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, b.N)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Blob)))
+	return append(buf, b.Blob...)
+}
+
+func (b *binBody) DecodeWire(data []byte) error {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("bad N")
+	}
+	b.N = v
+	data = data[n:]
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return fmt.Errorf("bad blob")
+	}
+	b.Blob = append([]byte(nil), data[n:n+int(l)]...)
+	return nil
+}
+
+// startBinEcho serves an echo handler that reports which codec each
+// request body arrived in.
+func startBinEcho(t *testing.T, cfg ServerConfig) (*Server, *int, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	binSeen := 0
+	d := NewDispatcher()
+	d.Register("echo", func(_ context.Context, _ string, body Body) (interface{}, error) {
+		var req binBody
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if body.codec == codecBinary {
+			binSeen++
+		}
+		mu.Unlock()
+		return req, nil
+	})
+	s, err := ServeWithConfig("127.0.0.1:0", d.Handle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, &binSeen, &mu
+}
+
+func echoOnce(t *testing.T, c *Client, n uint64) {
+	t.Helper()
+	req := binBody{N: n, Blob: []byte{0x00, 0xff, 0x10, 0x20}}
+	var resp binBody
+	if err := c.Call(context.Background(), "echo", req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != req.N || string(resp.Blob) != string(req.Blob) {
+		t.Fatalf("echo mangled: %+v != %+v", resp, req)
+	}
+}
+
+// TestNegotiatedBinaryFraming: a default client against a default
+// server upgrades to binary framing and ships bodies in the binary
+// codec both ways.
+func TestNegotiatedBinaryFraming(t *testing.T) {
+	s, binSeen, mu := startBinEcho(t, ServerConfig{})
+	cl := NewClient(s.Addr())
+	defer cl.Close()
+	echoOnce(t, cl, 7)
+	if st := cl.Stats(); st.Binary != st.Conns || st.Conns == 0 {
+		t.Fatalf("expected all conns binary, got %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *binSeen == 0 {
+		t.Fatal("server never saw a binary-codec body")
+	}
+}
+
+// TestMixedVersionJSONServer: a binary-capable client against a server
+// that predates the handshake (simulated by DisableBinary, which routes
+// wire.hello to the dispatcher's unknown-method error exactly like an
+// old build) silently stays on JSON framing and still interoperates.
+func TestMixedVersionJSONServer(t *testing.T) {
+	s, binSeen, mu := startBinEcho(t, ServerConfig{DisableBinary: true})
+	cl := NewClient(s.Addr())
+	defer cl.Close()
+	echoOnce(t, cl, 11)
+	if st := cl.Stats(); st.Binary != 0 {
+		t.Fatalf("conns negotiated binary against a JSON-only server: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *binSeen != 0 {
+		t.Fatal("JSON-only server somehow received a binary body")
+	}
+}
+
+// TestMixedVersionJSONClient: an old client (DisableBinary: no
+// handshake) against a new server speaks JSON end to end.
+func TestMixedVersionJSONClient(t *testing.T) {
+	s, binSeen, mu := startBinEcho(t, ServerConfig{})
+	cl := NewClientWithConfig(s.Addr(), ClientConfig{DisableBinary: true})
+	defer cl.Close()
+	echoOnce(t, cl, 13)
+	mu.Lock()
+	defer mu.Unlock()
+	if *binSeen != 0 {
+		t.Fatal("non-negotiating client's body arrived binary")
+	}
+}
+
+// TestBinaryFramingConcurrent: the upgraded connection multiplexes
+// concurrent binary calls without cross-talk.
+func TestBinaryFramingConcurrent(t *testing.T) {
+	s, _, _ := startBinEcho(t, ServerConfig{})
+	cl := NewClientWithConfig(s.Addr(), ClientConfig{PoolSize: 2})
+	defer cl.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := binBody{N: uint64(i), Blob: []byte{byte(i), byte(i >> 4)}}
+			var resp binBody
+			if err := cl.Call(context.Background(), "echo", req, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.N != uint64(i) {
+				errs <- fmt.Errorf("cross-talk: got %d want %d", resp.N, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestJSONFallbackBodyOnBinaryConn: a body that does not implement the
+// binary codec rides as JSON inside the binary envelope.
+func TestJSONFallbackBodyOnBinaryConn(t *testing.T) {
+	type plain struct {
+		Msg string `json:"msg"`
+	}
+	d := NewDispatcher()
+	d.Register("plain", func(_ context.Context, _ string, body Body) (interface{}, error) {
+		var req plain
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		return plain{Msg: req.Msg + "!"}, nil
+	})
+	s, err := Serve("127.0.0.1:0", d.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cl := NewClient(s.Addr())
+	defer cl.Close()
+	var resp plain
+	if err := cl.Call(context.Background(), "plain", plain{Msg: "ctrl"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "ctrl!" {
+		t.Fatalf("control body mangled: %q", resp.Msg)
+	}
+	if st := cl.Stats(); st.Binary == 0 {
+		t.Fatal("connection should still have negotiated binary framing")
+	}
+}

@@ -8,51 +8,112 @@ import (
 	"testing/quick"
 )
 
-// TestFrameRoundTripQuick: any frame content survives write/read.
+// TestFrameRoundTripQuick: any frame content survives write/read in
+// both framings.
 func TestFrameRoundTripQuick(t *testing.T) {
 	f := func(id uint64, typ string, errStr string, body []byte) bool {
-		in := frame{ID: id, Type: typ, Err: errStr}
-		if body != nil {
-			b, err := json.Marshal(string(body))
-			if err != nil {
-				return true
+		for _, binMode := range []bool{false, true} {
+			in := frame{ID: id, codec: codecJSON}
+			if typ != "" {
+				in.kind = kindRequest
+				in.Type = typ
+			} else {
+				in.kind = kindResponse
+				in.Err = errStr
 			}
-			in.Body = b
+			if body != nil {
+				b, err := json.Marshal(string(body))
+				if err != nil {
+					continue
+				}
+				in.Body = b
+			}
+			if !binMode && in.Type == cancelMethod {
+				continue // JSON framing reserves the cancel method name
+			}
+			var buf bytes.Buffer
+			if err := writeFrame(&buf, &in, binMode); err != nil {
+				return false
+			}
+			out, err := readFrame(&buf, binMode)
+			if err != nil {
+				return false
+			}
+			ok := out.ID == in.ID && out.Type == in.Type && out.Err == in.Err &&
+				out.kind == in.kind && bytes.Equal(out.Body, in.Body)
+			out.release()
+			if !ok {
+				return false
+			}
 		}
-		var buf bytes.Buffer
-		if err := writeFrame(&buf, &in); err != nil {
-			return false
-		}
-		out, err := readFrame(&buf)
-		if err != nil {
-			return false
-		}
-		return out.ID == in.ID && out.Type == in.Type && out.Err == in.Err &&
-			bytes.Equal(out.Body, in.Body)
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestReadFrameRejectsOversize(t *testing.T) {
+// TestBinaryFrameBinaryBody: the binary envelope carries binary-codec
+// bodies byte-for-byte.
+func TestBinaryFrameBinaryBody(t *testing.T) {
+	payload := []byte{0x00, 0xff, 0x80, 0x01, 0x02}
+	in := frame{ID: 7, kind: kindRequest, Type: "node.query", codec: codecBinary, Body: payload}
 	var buf bytes.Buffer
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	buf.Write(hdr[:])
-	if _, err := readFrame(&buf); err == nil {
-		t.Error("oversize frame must be rejected before allocation")
+	if err := writeFrame(&buf, &in, true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.release()
+	if out.codec != codecBinary || !bytes.Equal(out.Body, payload) {
+		t.Fatalf("binary body mangled: codec=%d body=%x", out.codec, out.Body)
+	}
+}
+
+// TestBinaryCancelFrame: cancel frames carry only the id.
+func TestBinaryCancelFrame(t *testing.T) {
+	in := frame{ID: 42, kind: kindCancel, Type: cancelMethod}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &in, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4+1+2 {
+		t.Fatalf("cancel frame is %d bytes, want <= 7", buf.Len())
+	}
+	out, err := readFrame(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.release()
+	if !out.isCancel() || out.ID != 42 {
+		t.Fatalf("cancel frame decoded as kind=%d id=%d", out.kind, out.ID)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	for _, binMode := range []bool{false, true} {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		buf.Write(hdr[:])
+		if _, err := readFrame(&buf, binMode); err == nil {
+			t.Errorf("binMode=%v: oversize frame must be rejected before allocation", binMode)
+		}
 	}
 }
 
 func TestReadFrameTruncated(t *testing.T) {
-	var buf bytes.Buffer
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], 100)
-	buf.Write(hdr[:])
-	buf.WriteString("short")
-	if _, err := readFrame(&buf); err == nil {
-		t.Error("truncated body must error")
+	for _, binMode := range []bool{false, true} {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 100)
+		buf.Write(hdr[:])
+		buf.WriteString("short")
+		if _, err := readFrame(&buf, binMode); err == nil {
+			t.Errorf("binMode=%v: truncated body must error", binMode)
+		}
 	}
 }
 
@@ -63,7 +124,40 @@ func TestReadFrameGarbageJSON(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	buf.Write(hdr[:])
 	buf.Write(body)
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf, false); err == nil {
 		t.Error("garbage JSON must error")
 	}
+}
+
+// FuzzDecodeBinaryFrame: arbitrary bytes never panic the binary
+// envelope parser, and valid frames survive a re-encode round trip.
+func FuzzDecodeBinaryFrame(f *testing.F) {
+	seed := frame{ID: 9, kind: kindRequest, Type: "node.query", codec: codecBinary, Body: []byte{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &seed, true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes()[4:]) // envelope without the length prefix
+	f.Add([]byte{})
+	f.Add([]byte{kindCancel, 0x01})
+	f.Add([]byte{kindResponse, 0x00, 0x00, codecJSON})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := decodeBinaryFrame(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, fr, true); err != nil {
+			t.Fatalf("valid frame failed to re-encode: %v", err)
+		}
+		back, err := readFrame(&out, true)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to parse: %v", err)
+		}
+		if back.ID != fr.ID || back.kind != fr.kind || back.Type != fr.Type ||
+			back.Err != fr.Err || !bytes.Equal(back.Body, fr.Body) {
+			t.Fatal("binary frame round trip diverged")
+		}
+		back.release()
+	})
 }

@@ -2,7 +2,6 @@ package wire
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -108,7 +107,7 @@ func TestPoolEvictsAndRedials(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	d := NewDispatcher()
-	d.Register("echo", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+	d.Register("echo", func(ctx context.Context, method string, body Body) (interface{}, error) {
 		return echoResp{Msg: "back"}, nil
 	})
 	s2, err := Serve(addr, d.Handle)

@@ -1,6 +1,6 @@
 // Package wire is the RPC substrate of the ROAR cluster: length-prefixed
-// JSON messages over TCP, with request/response multiplexing across a
-// small pool of connections per peer pair.
+// messages over TCP, with request/response multiplexing across a small
+// pool of connections per peer pair.
 //
 // §4.8.4 discusses the transport choice: TCP for reliability, with the
 // observation that data-center RPCs are application-limited and must not
@@ -14,16 +14,21 @@
 // cancel frame so the server stops the handler instead of computing an
 // answer nobody will read. A connection that errors is evicted from the
 // pool and lazily redialled.
+//
+// Framing is negotiated per connection (codec.go): a client opens with a
+// wire.hello request; if the server understands it both sides switch to
+// the compact binary envelope and hot-path bodies travel in their
+// hand-rolled binary form, while control bodies and mixed-version peers
+// fall back to JSON. An old server answers hello with "unknown method"
+// and the connection transparently stays on the original JSON framing.
 package wire
 
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,54 +46,20 @@ const MaxFrame = 16 << 20
 // nobody is waiting for.
 const cancelMethod = "wire.cancel"
 
-// frame is the on-the-wire envelope.
-type frame struct {
-	ID   uint64          `json:"id"`             // request id (response echoes it)
-	Type string          `json:"type"`           // method name; empty on responses
-	Err  string          `json:"err,omitempty"`  // error text on responses
-	Body json.RawMessage `json:"body,omitempty"` // method-specific payload
-}
-
-func writeFrame(w io.Writer, f *frame) error {
-	body, err := json.Marshal(f)
-	if err != nil {
-		return fmt.Errorf("wire: encoding frame: %w", err)
-	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
-}
-
-func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
-	var f frame
-	if err := json.Unmarshal(body, &f); err != nil {
-		return nil, fmt.Errorf("wire: decoding frame: %w", err)
-	}
-	return &f, nil
-}
-
 // Handler serves one request. Returning an error sends it to the caller
-// as a call failure; the connection stays up.
-type Handler func(ctx context.Context, method string, body json.RawMessage) (interface{}, error)
+// as a call failure; the connection stays up. The body's backing bytes
+// are only valid for the duration of the call — Decode copies whatever
+// the request struct retains, so decode-then-use handlers need no care.
+type Handler func(ctx context.Context, method string, body Body) (interface{}, error)
+
+// ServerConfig tunes a server.
+type ServerConfig struct {
+	// DisableBinary rejects wire.hello negotiation, pinning every
+	// connection to the version-0 JSON framing. It exists for
+	// mixed-version testing — a server built before the binary codec
+	// behaves exactly like this — and as an operational escape hatch.
+	DisableBinary bool
+}
 
 // Server accepts connections and dispatches requests to a Handler.
 // Requests on one connection are served concurrently, matching the
@@ -96,6 +67,7 @@ type Handler func(ctx context.Context, method string, body json.RawMessage) (int
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     ServerConfig
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -105,11 +77,16 @@ type Server struct {
 
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
 func Serve(addr string, h Handler) (*Server, error) {
+	return ServeWithConfig(addr, h, ServerConfig{})
+}
+
+// ServeWithConfig starts a server with explicit configuration.
+func ServeWithConfig(addr string, h Handler, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: h, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -165,6 +142,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var wmu sync.Mutex // serialises response frames
+	// binMode flips (at most once) when the hello handshake upgrades the
+	// connection; the read loop is the only writer, response goroutines
+	// read it under wmu so framing and payload stay consistent.
+	var binMode atomic.Bool
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	// In-progress requests on this connection, so a cancel frame can
@@ -172,17 +153,48 @@ func (s *Server) serveConn(conn net.Conn) {
 	var rmu sync.Mutex
 	running := make(map[uint64]context.CancelFunc)
 	for {
-		f, err := readFrame(br)
+		f, err := readFrame(br, binMode.Load())
 		if err != nil {
 			return
 		}
-		if f.Type == cancelMethod {
+		if f.isCancel() {
 			rmu.Lock()
 			if abort, ok := running[f.ID]; ok {
 				abort()
 			}
 			rmu.Unlock()
+			f.release()
 			continue // control frame: no handler, no response
+		}
+		if f.kind == kindRequest && f.Type == helloMethod && !binMode.Load() && !s.cfg.DisableBinary {
+			// Version negotiation, handled inline (never dispatched): the
+			// response ships in the old framing, then the connection
+			// upgrades. The client sends hello first on a fresh
+			// connection and waits, so no other traffic straddles the
+			// switch.
+			var hr helloReq
+			_ = Body{codec: f.codec, data: f.Body}.Decode(&hr)
+			id := f.ID
+			f.release()
+			v := hr.Version
+			if v > Version {
+				v = Version
+			}
+			if v < 0 {
+				v = 0
+			}
+			body, _ := json.Marshal(helloResp{Version: v})
+			resp := frame{ID: id, kind: kindResponse, codec: codecJSON, Body: body}
+			wmu.Lock()
+			werr := writeFrame(conn, &resp, false)
+			if werr == nil && v >= 1 {
+				binMode.Store(true)
+			}
+			wmu.Unlock()
+			if werr != nil {
+				return
+			}
+			continue
 		}
 		rctx, rcancel := context.WithCancel(ctx)
 		rmu.Lock()
@@ -194,22 +206,31 @@ func (s *Server) serveConn(conn net.Conn) {
 				delete(running, req.ID)
 				rmu.Unlock()
 				rcancel()
+				req.release()
 			}()
-			resp := frame{ID: req.ID}
-			out, err := s.handler(rctx, req.Type, req.Body)
+			resp := frame{ID: req.ID, kind: kindResponse}
+			out, err := s.handler(rctx, req.Type, Body{codec: req.codec, data: req.Body})
+			var bodyBuf *[]byte
 			if err != nil {
 				resp.Err = err.Error()
 			} else if out != nil {
-				b, err := json.Marshal(out)
-				if err != nil {
-					resp.Err = fmt.Sprintf("wire: encoding response: %v", err)
+				bodyBuf = getBuf()
+				data, codec, eerr := encodeBody(out, binMode.Load(), *bodyBuf)
+				if eerr != nil {
+					resp.Err = fmt.Sprintf("wire: encoding response: %v", eerr)
 				} else {
-					resp.Body = b
+					resp.Body, resp.codec = data, codec
+					if codec == codecBinary {
+						*bodyBuf = data[:0] // pool the possibly-grown buffer
+					}
 				}
 			}
 			wmu.Lock()
-			defer wmu.Unlock()
-			_ = writeFrame(conn, &resp)
+			_ = writeFrame(conn, &resp, binMode.Load())
+			wmu.Unlock()
+			if bodyBuf != nil {
+				putBuf(bodyBuf)
+			}
 		}(f, rctx, rcancel)
 	}
 }
@@ -222,8 +243,13 @@ type ClientConfig struct {
 	// kernel send buffer; a pool removes that bottleneck under high
 	// frontend concurrency.
 	PoolSize int
-	// DialTimeout bounds each connection attempt. Default 5s.
+	// DialTimeout bounds each connection attempt, including the framing
+	// handshake. Default 5s.
 	DialTimeout time.Duration
+	// DisableBinary skips the wire.hello handshake, pinning every
+	// connection to the version-0 JSON framing (mixed-version testing
+	// and operational fallback).
+	DisableBinary bool
 }
 
 func (cfg ClientConfig) withDefaults() ClientConfig {
@@ -261,8 +287,10 @@ type slot struct {
 
 // clientConn is one pooled connection with its own in-flight table.
 type clientConn struct {
-	conn net.Conn
-	wmu  sync.Mutex // serialises request frames on this connection
+	conn   net.Conn
+	br     *bufio.Reader
+	binary bool       // negotiated framing; immutable after the handshake
+	wmu    sync.Mutex // serialises request frames on this connection
 
 	pmu      sync.Mutex
 	pending  map[uint64]chan *frame
@@ -296,6 +324,7 @@ func (c *Client) PoolSize() int { return c.cfg.PoolSize }
 type ClientStats struct {
 	Conns    int // healthy dialled connections
 	InFlight int // requests awaiting a response
+	Binary   int // connections speaking the binary framing
 }
 
 // Stats snapshots the pool.
@@ -306,6 +335,9 @@ func (c *Client) Stats() ClientStats {
 		if s.cc != nil {
 			st.Conns++
 			st.InFlight += int(s.cc.inflight.Load())
+			if s.cc.binary {
+				st.Binary++
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -329,10 +361,10 @@ func (c *Client) Close() error {
 	return err
 }
 
-// conn returns the healthy connection for pool index i, dialling if the
-// slot is empty (lazy dial, and redial after eviction). Only the slot's
-// own lock is held across the dial, so a dead slot cannot stall calls
-// on its healthy neighbours.
+// conn returns the healthy connection for pool index i, dialling (and
+// negotiating framing) if the slot is empty — lazy dial, and redial
+// after eviction. Only the slot's own lock is held across the dial, so
+// a dead slot cannot stall calls on its healthy neighbours.
 func (c *Client) conn(i int) (*clientConn, error) {
 	s := c.slots[i]
 	s.mu.Lock()
@@ -351,10 +383,54 @@ func (c *Client) conn(i int) (*clientConn, error) {
 		conn.Close()
 		return nil, ErrClosed
 	}
-	cc := &clientConn{conn: conn, pending: make(map[uint64]chan *frame)}
+	cc := &clientConn{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), pending: make(map[uint64]chan *frame)}
+	if !c.cfg.DisableBinary {
+		// The handshake shares the dial budget: a server that hangs
+		// mid-negotiation is as dead as one that refuses the connection.
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+		bin, err := c.negotiate(cc)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("wire: negotiating with %s: %w", c.addr, err)
+		}
+		_ = conn.SetDeadline(time.Time{})
+		cc.binary = bin
+	}
 	s.cc = cc
 	go c.readLoop(i, cc)
 	return cc, nil
+}
+
+// negotiate runs the wire.hello handshake on a fresh connection (no
+// other traffic yet, so reading synchronously is safe). A server that
+// rejects the method — any build predating the binary codec — downgrades
+// the connection to JSON framing; only transport failures error.
+func (c *Client) negotiate(cc *clientConn) (bool, error) {
+	id := c.nextID.Add(1)
+	body, err := json.Marshal(helloReq{Version: Version})
+	if err != nil {
+		return false, err
+	}
+	req := frame{ID: id, Type: helloMethod, kind: kindRequest, codec: codecJSON, Body: body}
+	if err := writeFrame(cc.conn, &req, false); err != nil {
+		return false, err
+	}
+	f, err := readFrame(cc.br, false)
+	if err != nil {
+		return false, err
+	}
+	defer f.release()
+	if f.ID != id {
+		return false, fmt.Errorf("unexpected response id %d during handshake", f.ID)
+	}
+	if f.Err != "" {
+		return false, nil // pre-negotiation server: stay on JSON
+	}
+	var hr helloResp
+	if err := decodeInto(f, &hr); err != nil {
+		return false, nil
+	}
+	return hr.Version >= 1, nil
 }
 
 // evict removes a failed connection from the pool (health-aware
@@ -374,15 +450,14 @@ func (c *Client) evict(i int, cc *clientConn, cause error) {
 	cc.pmu.Lock()
 	defer cc.pmu.Unlock()
 	for id, ch := range cc.pending {
-		ch <- &frame{ID: id, Err: fmt.Sprintf("wire: connection lost: %v", cause)}
+		ch <- &frame{ID: id, kind: kindResponse, Err: fmt.Sprintf("wire: connection lost: %v", cause)}
 		delete(cc.pending, id)
 	}
 }
 
 func (c *Client) readLoop(i int, cc *clientConn) {
-	br := bufio.NewReaderSize(cc.conn, 64<<10)
 	for {
-		f, err := readFrame(br)
+		f, err := readFrame(cc.br, cc.binary)
 		if err != nil {
 			c.evict(i, cc, err)
 			return
@@ -393,6 +468,8 @@ func (c *Client) readLoop(i int, cc *clientConn) {
 		cc.pmu.Unlock()
 		if ch != nil {
 			ch <- f
+		} else {
+			f.release() // late response for an abandoned call
 		}
 	}
 }
@@ -400,6 +477,9 @@ func (c *Client) readLoop(i int, cc *clientConn) {
 // Call sends a request on the next pooled connection and decodes the
 // response into out (which may be nil to discard). It honours ctx
 // cancellation/deadline without tearing down the shared connection.
+// On a binary-framed connection, request and response bodies that
+// implement WireAppender/WireDecoder travel in their binary encoding;
+// everything else rides as JSON.
 func (c *Client) Call(ctx context.Context, method string, in, out interface{}) error {
 	i := int(c.rr.Add(1)-1) % len(c.slots)
 	cc, err := c.conn(i)
@@ -407,14 +487,13 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 		return err
 	}
 	id := c.nextID.Add(1)
-	req := frame{ID: id, Type: method}
-	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("wire: encoding %s request: %w", method, err)
-		}
-		req.Body = b
+	bodyBuf := getBuf()
+	data, codec, err := encodeBody(in, cc.binary, *bodyBuf)
+	if err != nil {
+		putBuf(bodyBuf)
+		return fmt.Errorf("wire: encoding %s request: %w", method, err)
 	}
+	req := frame{ID: id, Type: method, kind: kindRequest, codec: codec, Body: data}
 	ch := make(chan *frame, 1)
 	cc.pmu.Lock()
 	cc.pending[id] = ch
@@ -423,8 +502,12 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 	defer cc.inflight.Add(-1)
 
 	cc.wmu.Lock()
-	werr := writeFrame(cc.conn, &req)
+	werr := writeFrame(cc.conn, &req, cc.binary)
 	cc.wmu.Unlock()
+	if codec == codecBinary {
+		*bodyBuf = data[:0] // pool the possibly-grown append buffer
+	}
+	putBuf(bodyBuf)
 	if werr != nil {
 		cc.pmu.Lock()
 		delete(cc.pending, id)
@@ -438,22 +521,29 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 		cc.pmu.Lock()
 		delete(cc.pending, id)
 		cc.pmu.Unlock()
+		// readLoop may have popped the entry just before the delete and
+		// parked the response in the buffered channel; reclaim its pooled
+		// buffer instead of leaving it to the GC.
+		select {
+		case f := <-ch:
+			f.release()
+		default:
+		}
 		// Tell the server the answer is unwanted (hedge loss, deadline)
 		// so it can stop the handler. Best effort: a write failure here
 		// just means the connection is already dying.
-		cancelFrame := frame{ID: id, Type: cancelMethod}
+		cancelFrame := frame{ID: id, Type: cancelMethod, kind: kindCancel}
 		cc.wmu.Lock()
-		_ = writeFrame(cc.conn, &cancelFrame)
+		_ = writeFrame(cc.conn, &cancelFrame, cc.binary)
 		cc.wmu.Unlock()
 		return ctx.Err()
 	case f := <-ch:
+		defer f.release()
 		if f.Err != "" {
 			return fmt.Errorf("wire: %s: %s", method, f.Err)
 		}
-		if out != nil && len(f.Body) > 0 {
-			if err := json.Unmarshal(f.Body, out); err != nil {
-				return fmt.Errorf("wire: decoding %s response: %w", method, err)
-			}
+		if err := decodeInto(f, out); err != nil {
+			return fmt.Errorf("wire: decoding %s response: %w", method, err)
 		}
 		return nil
 	}
@@ -479,7 +569,7 @@ func (d *Dispatcher) Register(method string, h Handler) {
 }
 
 // Handle implements the server Handler signature.
-func (d *Dispatcher) Handle(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+func (d *Dispatcher) Handle(ctx context.Context, method string, body Body) (interface{}, error) {
 	d.mu.RLock()
 	h, ok := d.handlers[method]
 	d.mu.RUnlock()

@@ -2,7 +2,6 @@ package wire
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,9 +20,9 @@ type echoResp struct {
 func startEcho(t *testing.T) (*Server, string) {
 	t.Helper()
 	d := NewDispatcher()
-	d.Register("echo", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+	d.Register("echo", func(ctx context.Context, method string, body Body) (interface{}, error) {
 		var req echoReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		if req.Sleep > 0 {
@@ -31,7 +30,7 @@ func startEcho(t *testing.T) (*Server, string) {
 		}
 		return echoResp{Msg: req.Msg}, nil
 	})
-	d.Register("fail", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+	d.Register("fail", func(ctx context.Context, method string, body Body) (interface{}, error) {
 		return nil, fmt.Errorf("deliberate failure")
 	})
 	s, err := Serve("127.0.0.1:0", d.Handle)
@@ -184,7 +183,7 @@ func TestClientRedial(t *testing.T) {
 	// next call against a new server on the same address.
 	s.Close()
 	d := NewDispatcher()
-	d.Register("echo", func(ctx context.Context, method string, body json.RawMessage) (interface{}, error) {
+	d.Register("echo", func(ctx context.Context, method string, body Body) (interface{}, error) {
 		return echoResp{Msg: "redialled"}, nil
 	})
 	s2, err := Serve(addr, d.Handle)
@@ -207,12 +206,28 @@ func TestClientRedial(t *testing.T) {
 }
 
 func TestBadFrameRejected(t *testing.T) {
-	var f frame
-	f.Type = "x"
-	// Frame larger than the limit is rejected on write.
-	f.Body = json.RawMessage(`"` + string(make([]byte, 0)) + `"`)
-	if err := writeFrame(discard{}, &f); err != nil {
+	f := frame{Type: "x", kind: kindRequest, codec: codecJSON, Body: []byte(`""`)}
+	if err := writeFrame(discard{}, &f, false); err != nil {
 		t.Fatalf("small frame should write: %v", err)
+	}
+	if err := writeFrame(discard{}, &f, true); err != nil {
+		t.Fatalf("small binary frame should write: %v", err)
+	}
+	// The write-side MaxFrame check must fail locally, in both framings,
+	// before a byte reaches the (possibly remote) peer.
+	big := frame{Type: "x", kind: kindRequest, codec: codecBinary, Body: make([]byte, MaxFrame+1)}
+	if err := writeFrame(discard{}, &big, true); err == nil {
+		t.Fatal("oversize binary frame must be rejected on write")
+	}
+	big.codec = codecJSON
+	payload := make([]byte, MaxFrame+2)
+	for i := range payload {
+		payload[i] = 'a'
+	}
+	payload[0], payload[len(payload)-1] = '"', '"' // one giant valid JSON string
+	big.Body = payload
+	if err := writeFrame(discard{}, &big, false); err == nil {
+		t.Fatal("oversize JSON frame must be rejected on write")
 	}
 }
 
@@ -228,7 +243,7 @@ func TestCancelPropagatesToServer(t *testing.T) {
 	started := make(chan struct{}, 1)
 	aborted := make(chan struct{}, 1)
 	d := NewDispatcher()
-	d.Register("block", func(ctx context.Context, _ string, _ json.RawMessage) (interface{}, error) {
+	d.Register("block", func(ctx context.Context, _ string, _ Body) (interface{}, error) {
 		started <- struct{}{}
 		select {
 		case <-ctx.Done():
@@ -265,9 +280,9 @@ func TestCancelPropagatesToServer(t *testing.T) {
 	}
 	// The connection must survive the cancellation for subsequent calls.
 	var resp echoResp
-	d.Register("echo", func(_ context.Context, _ string, body json.RawMessage) (interface{}, error) {
+	d.Register("echo", func(_ context.Context, _ string, body Body) (interface{}, error) {
 		var req echoReq
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
 		return echoResp{Msg: req.Msg}, nil
