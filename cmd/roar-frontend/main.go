@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,16 +37,24 @@ func main() {
 		hedge    = flag.Duration("hedge-delay", 0, "re-dispatch a slow sub-query onto replicas after this delay (0 = off)")
 		hedgeQ   = flag.Float64("hedge-quantile", 0, "derive the hedge delay from this quantile of observed sub-query latency, e.g. 0.95 (0 = fixed -hedge-delay)")
 		probe    = flag.Duration("probe-interval", 0, "suspected-node recovery probe cadence (0 = 500ms default, <0 = off)")
+		hedgeB   = flag.Float64("hedge-budget", 0, "hedged legs per primary sub-query, the Kraus-style rate limit (0 = default 0.05, <0 = unlimited)")
+		hedgeBB  = flag.Float64("hedge-burst", 0, "hedge token-bucket capacity (0 = default 4)")
+		hedgePQ  = flag.Int("hedge-per-query", 0, "max hedged legs per query (0 = unlimited)")
+		shedHW   = flag.Int("shed-highwater", 0, "mean reported node queue depth that triggers overload shedding (0 = off)")
+		healthIv = flag.Duration("health-interval", time.Second, "health report push cadence")
 	)
 	flag.Parse()
 
 	fe := frontend.New(frontend.Config{
-		PQ: *pq, RangeAdjust: *adjust, MaxSplits: *splits,
+		Name: *listen,
+		PQ:   *pq, RangeAdjust: *adjust, MaxSplits: *splits,
 		PoolSize: *pool, MaxInFlight: *inflight,
 		DispatchWorkers: *workers, QueueTimeout: *queueTO,
 		NodeMaxOutstanding: *nodeOut,
 		HedgeDelay:         *hedge, HedgeQuantile: *hedgeQ,
-		ProbeInterval: *probe,
+		ProbeInterval:       *probe,
+		HedgeBudgetFraction: *hedgeB, HedgeBudgetBurst: *hedgeBB,
+		HedgeMaxPerQuery: *hedgePQ, ShedHighWater: *shedHW,
 	})
 	defer fe.Close()
 	mcl := wire.NewClient(*member)
@@ -70,21 +79,51 @@ func main() {
 		time.Sleep(time.Second)
 	}
 
-	// Background: refresh the view and push statistics (§4.9).
+	// Background: refresh the view on the poll cadence (§4.9).
+	syncIfStale := func() {
+		var v proto.View
+		if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
+			return
+		}
+		if v.Epoch != fe.View().Epoch && len(v.Nodes) > 0 {
+			_ = fe.ApplyView(v)
+		}
+	}
 	go func() {
-		epoch := fe.View().Epoch
 		for range time.Tick(*poll) {
-			var v proto.View
-			if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
+			syncIfStale()
+		}
+	}()
+
+	// Background: push health reports — the frontend's half of the
+	// failure/overload control loop. When the coordinator's reply names
+	// an epoch ahead of the installed view (a quarantine or recovery
+	// just published), the view is re-pulled immediately rather than
+	// waiting out the poll timer. A coordinator that predates
+	// member.health answers "unknown method" — only that answer selects
+	// the legacy speeds/failed fallback; transient transport errors
+	// re-credit the report's deltas and retry on the next tick.
+	go func() {
+		legacy := false
+		for range time.Tick(*healthIv) {
+			if legacy {
+				report := proto.ReportReq{Speeds: fe.SpeedEstimates(), Failed: fe.FailedNodes()}
+				_ = mcl.Call(context.Background(), proto.MMemberReport, report, nil)
 				continue
 			}
-			if v.Epoch != epoch && len(v.Nodes) > 0 {
-				if err := fe.ApplyView(v); err == nil {
-					epoch = v.Epoch
+			rep := fe.HealthReport()
+			var hr proto.HealthResp
+			if err := mcl.Call(context.Background(), proto.MMemberHealth, rep, &hr); err != nil {
+				if strings.Contains(err.Error(), "unknown method") {
+					legacy = true
+				} else {
+					fe.RestoreHealthReport(rep)
 				}
+				continue
 			}
-			report := proto.ReportReq{Speeds: fe.SpeedEstimates(), Failed: fe.FailedNodes()}
-			_ = mcl.Call(context.Background(), proto.MMemberReport, report, nil)
+			if hr.Epoch != fe.View().Epoch {
+				syncIfStale()
+			}
 		}
 	}()
 
@@ -94,7 +133,7 @@ func main() {
 		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
-		res, err := fe.Execute(ctx, req.Q)
+		res, err := fe.ExecuteOpts(ctx, req.Q, frontend.ExecOptions{Priority: frontend.Priority(req.Priority)})
 		if err != nil {
 			return nil, err
 		}

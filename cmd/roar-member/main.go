@@ -22,13 +22,23 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7000", "address to serve on")
-		p      = flag.Int("p", 4, "initial partitioning level")
-		rings  = flag.Int("rings", 1, "number of rings")
+		listen   = flag.String("listen", "127.0.0.1:7000", "address to serve on")
+		p        = flag.Int("p", 4, "initial partitioning level")
+		rings    = flag.Int("rings", 1, "number of rings")
+		qThresh  = flag.Float64("quarantine-threshold", 0, "failure-evidence score that quarantines a node (0 = default 3)")
+		qRecover = flag.Float64("quarantine-recover", 0, "score at which a quarantined node is re-admitted (default 0)")
+		qMaxFrac = flag.Float64("quarantine-max-fraction", 0, "refuse to quarantine beyond this fraction of nodes (0 = default 0.5)")
 	)
 	flag.Parse()
 
-	coord, err := membership.New(membership.Config{P: *p, Rings: *rings})
+	coord, err := membership.New(membership.Config{
+		P: *p, Rings: *rings,
+		Health: membership.HealthConfig{
+			QuarantineThreshold:   *qThresh,
+			RecoverThreshold:      *qRecover,
+			MaxQuarantineFraction: *qMaxFrac,
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -74,6 +84,9 @@ func main() {
 		return proto.LoadResp{Records: len(recs)}, nil
 	})
 	d.Register(proto.MMemberReport, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
+		// Legacy statistics push from pre-health-loop frontends. Failed
+		// entries feed the health aggregator as suspicion evidence
+		// instead of triggering an immediate range redistribution.
 		var req proto.ReportReq
 		if err := body.Decode(&req); err != nil {
 			return nil, err
@@ -84,10 +97,16 @@ func main() {
 		}
 		coord.ReportSpeeds(speeds)
 		for _, id := range req.Failed {
-			// Long-term failure handling: redistribute the range.
-			_ = coord.HandleFailure(context.Background(), ring.NodeID(id))
+			coord.HandleFailure(ring.NodeID(id))
 		}
 		return struct{}{}, nil
+	})
+	d.Register(proto.MMemberHealth, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
+		var req proto.HealthReport
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		return coord.ReportHealth(req), nil
 	})
 
 	srv, err := wire.Serve(*listen, d.Handle)

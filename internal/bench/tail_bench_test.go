@@ -36,8 +36,17 @@ var tailConfigs = []struct {
 }{
 	// Failure-timer-only re-dispatch: the seed behaviour.
 	{"timer-only", frontend.Config{PQ: tailNodes, SubQueryTimeout: 2 * time.Second}},
-	// Hedged: slow sub-queries race a replica bracket after 8ms.
-	{"hedged-8ms", frontend.Config{PQ: tailNodes, SubQueryTimeout: 2 * time.Second, HedgeDelay: 8 * time.Millisecond}},
+	// Hedged, un-budgeted: every slow sub-query races a replica. This
+	// is the one-straggler best case (and the broad-slowness worst
+	// case, which is why the budget exists).
+	{"hedged-8ms", frontend.Config{PQ: tailNodes, SubQueryTimeout: 2 * time.Second,
+		HedgeDelay: 8 * time.Millisecond, HedgeBudgetFraction: -1}},
+	// Hedged under the default 5% token-bucket budget: the burst covers
+	// the straggler's steady hedge demand here (one slow node out of
+	// eight ≈ 12.5% of sub-queries want hedging, so the budget bites);
+	// CI tracks how much p99 this costs versus un-budgeted hedging.
+	{"hedged-budget-5pct", frontend.Config{PQ: tailNodes, SubQueryTimeout: 2 * time.Second,
+		HedgeDelay: 8 * time.Millisecond, HedgeBudgetFraction: 0.05, HedgeBudgetBurst: 4}},
 }
 
 // tailRun drives `queries` closed-loop queries and returns the delay

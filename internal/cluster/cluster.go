@@ -46,6 +46,9 @@ type Options struct {
 	// the frontend's execution pipeline is configured the way a real
 	// deployment would be: centrally, not per process.
 	Tuning *proto.Tuning
+	// Health tunes the coordinator's failure/overload control loop
+	// (quarantine thresholds); zero values use the defaults.
+	Health membership.HealthConfig
 	// Encoder overrides the PPS encoding (zero value = slim test
 	// encoding; use pps.EncoderConfig{} semantics via FullEncoding).
 	Encoder *pps.EncoderConfig
@@ -61,10 +64,11 @@ type Cluster struct {
 	Coord *membership.Coordinator
 	FE    *frontend.Frontend
 
-	nodes   []*node.Node
-	servers []*wire.Server
-	ids     []ring.NodeID
-	rng     *rand.Rand
+	nodes    []*node.Node
+	servers  []*wire.Server
+	ids      []ring.NodeID
+	extraFEs []*frontend.Frontend
+	rng      *rand.Rand
 }
 
 // SlimEncoderConfig is a small encoding that keeps harness corpora cheap
@@ -98,7 +102,7 @@ func Start(opts Options) (*Cluster, error) {
 	// material, and a shared key lets callers reuse encrypted corpora.
 	enc := pps.NewEncoder(pps.TestKey(1), encCfg)
 
-	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P, Tuning: opts.Tuning})
+	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P, Tuning: opts.Tuning, Health: opts.Health})
 	if err != nil {
 		return nil, err
 	}
@@ -148,13 +152,55 @@ func Start(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// SyncView pushes the coordinator's current view to the frontend.
+// SyncView pushes the coordinator's current view to every frontend.
 func (c *Cluster) SyncView() error {
-	return c.FE.ApplyView(c.Coord.View())
+	v := c.Coord.View()
+	for _, fe := range c.extraFEs {
+		if err := fe.ApplyView(v); err != nil {
+			return err
+		}
+	}
+	return c.FE.ApplyView(v)
+}
+
+// AddFrontend starts an additional frontend against the current view —
+// the harness's stand-in for a real multi-frontend deployment (health
+// aggregation across frontends, quarantine quorums). Closed with the
+// cluster.
+func (c *Cluster) AddFrontend(cfg frontend.Config) (*frontend.Frontend, error) {
+	fe := frontend.New(cfg)
+	if err := fe.ApplyView(c.Coord.View()); err != nil {
+		fe.Close()
+		return nil, err
+	}
+	c.extraFEs = append(c.extraFEs, fe)
+	return fe, nil
+}
+
+// PumpHealth runs one turn of the health loop for the given frontends
+// (all of the cluster's frontends when none are named): each pushes its
+// report to the coordinator, and any frontend whose view is stale
+// against the coordinator's epoch re-pulls it — exactly what
+// cmd/roar-frontend's background pushers do on their tickers.
+func (c *Cluster) PumpHealth(fes ...*frontend.Frontend) proto.HealthResp {
+	if len(fes) == 0 {
+		fes = append([]*frontend.Frontend{c.FE}, c.extraFEs...)
+	}
+	var resp proto.HealthResp
+	for _, fe := range fes {
+		resp = c.Coord.ReportHealth(fe.HealthReport())
+		if resp.Epoch != fe.View().Epoch {
+			_ = fe.ApplyView(c.Coord.View())
+		}
+	}
+	return resp
 }
 
 // Close tears everything down.
 func (c *Cluster) Close() {
+	for _, fe := range c.extraFEs {
+		fe.Close()
+	}
 	if c.FE != nil {
 		c.FE.Close()
 	}
@@ -236,7 +282,7 @@ func (c *Cluster) KillNode(i int) error {
 // RecoverFailure tells the membership layer to redistribute a failed
 // node's range (the long-term path of §4.9).
 func (c *Cluster) RecoverFailure(ctx context.Context, i int) error {
-	if err := c.Coord.HandleFailure(ctx, c.ids[i]); err != nil {
+	if err := c.Coord.Decommission(ctx, c.ids[i]); err != nil {
 		return err
 	}
 	return c.SyncView()

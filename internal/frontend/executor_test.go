@@ -183,16 +183,21 @@ func TestViewTuningOverridesConfig(t *testing.T) {
 	fe := New(Config{PoolSize: 1})
 	defer fe.Close()
 	v.Tuning = &proto.Tuning{
-		PoolSize:          2,
-		MaxInFlight:       7,
-		DispatchWorkers:   5,
-		QueueTimeoutNanos: int64(time.Second),
+		PoolSize:            2,
+		MaxInFlight:         7,
+		DispatchWorkers:     5,
+		QueueTimeoutNanos:   int64(time.Second),
+		HedgeBudgetFraction: 0.10,
+		HedgeBudgetBurst:    8,
+		HedgeMaxPerQuery:    3,
+		ShedHighWater:       6,
 	}
 	if err := fe.ApplyView(v); err != nil {
 		t.Fatal(err)
 	}
 	fe.mu.RLock()
 	tune, admit, workers := fe.tune, fe.admit, fe.workers
+	budget := fe.budget
 	var poolSizes []int
 	for _, h := range fe.nodes {
 		poolSizes = append(poolSizes, h.client.PoolSize())
@@ -200,6 +205,12 @@ func TestViewTuningOverridesConfig(t *testing.T) {
 	fe.mu.RUnlock()
 	if tune.poolSize != 2 || tune.maxInFlight != 7 || tune.dispatchWorkers != 5 || tune.queueTimeout != time.Second {
 		t.Errorf("tuning not applied: %+v", tune)
+	}
+	if tune.hedgeBudgetFrac != 0.10 || tune.hedgeBudgetBurst != 8 || tune.hedgeMaxPerQuery != 3 || tune.shedHighWater != 6 {
+		t.Errorf("hedge/shed tuning not applied: %+v", tune)
+	}
+	if budget == nil || budget.fraction != 0.10 || budget.burst != 8 {
+		t.Errorf("budget not rebuilt from view tuning: %+v", budget)
 	}
 	if cap(admit) != 7 {
 		t.Errorf("admit capacity = %d, want 7", cap(admit))

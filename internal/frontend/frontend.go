@@ -39,6 +39,9 @@ const defaultProbeInterval = 500 * time.Millisecond
 
 // Config tunes a frontend.
 type Config struct {
+	// Name identifies this frontend in health reports to the membership
+	// server (its listen address, or any stable label). Optional.
+	Name string
 	// PQ forces the query partitioning level; 0 uses the view's safe p.
 	PQ int
 	// RangeAdjust enables the §4.8.2 boundary-shifting optimisation.
@@ -92,25 +95,67 @@ type Config struct {
 	// disables probing (suspicion then clears only via view retention
 	// or a successful hedge contact).
 	ProbeInterval time.Duration
+
+	// HedgeBudgetFraction rate-limits hedging: every primary sub-query
+	// dispatch earns this many tokens, every hedged replica leg spends
+	// one, so hedged legs stay ≤ fraction × primaries + burst even when
+	// the whole cluster is slow (Kraus et al.: hedging only pays off
+	// rate-limited). 0 uses the default 0.05 (≤5% of sub-queries);
+	// negative disables the budget entirely.
+	HedgeBudgetFraction float64
+	// HedgeBudgetBurst is the token-bucket capacity and initial
+	// balance. 0 uses the default 4.
+	HedgeBudgetBurst float64
+	// HedgeMaxPerQuery caps hedged replica legs launched for a single
+	// query. 0 = unlimited (the global budget still applies).
+	HedgeMaxPerQuery int
+	// ShedHighWater, when positive, is the mean node-reported queue
+	// depth at which the frontend declares overload: hedging pauses and
+	// PriorityLow admissions are rejected with ErrShed. 0 disables.
+	ShedHighWater int
+}
+
+// Priority classes admission control distinguishes under overload.
+type Priority int
+
+const (
+	// PriorityLow marks sheddable work: rejected first when the
+	// cluster's reported queue depths cross the shed high-water mark.
+	PriorityLow Priority = -1
+	// PriorityNormal is the default class (zero value).
+	PriorityNormal Priority = 0
+	// PriorityHigh is never shed.
+	PriorityHigh Priority = 1
+)
+
+// ExecOptions carries per-query execution options.
+type ExecOptions struct {
+	Priority Priority
 }
 
 // ErrOverloaded is returned when a query waits longer than QueueTimeout
 // for an admission slot.
 var ErrOverloaded = errors.New("frontend: overloaded, admission queue timeout")
 
+// ErrShed is returned to PriorityLow queries rejected at admission
+// while the frontend is over its shed high-water mark.
+var ErrShed = errors.New("frontend: overloaded, sheddable query rejected")
+
 // Result is one executed query.
 type Result struct {
-	IDs        []uint64
-	Delay      time.Duration
-	Queue      time.Duration // admission-control wait
-	Schedule   time.Duration // plan computation (Fig 7.11 breakdown)
-	Dispatch   time.Duration // network + remote matching
-	Merge      time.Duration // result assembly + dedup
-	SubQueries int           // sub-queries sent (grows on failures and hedges)
-	Failures   int           // failed sub-queries recovered
-	Hedges     int           // speculative replica dispatches launched
-	HedgeWins  int           // hedges that answered before the primary
-	Scanned    int           // objects scanned across nodes
+	IDs          []uint64
+	Delay        time.Duration
+	Queue        time.Duration // admission-control wait
+	Schedule     time.Duration // plan computation (Fig 7.11 breakdown)
+	Dispatch     time.Duration // network + remote matching
+	Merge        time.Duration // result assembly + dedup
+	SubQueries   int           // sub-queries sent (grows on failures and hedges)
+	Failures     int           // failed sub-queries recovered
+	Hedges       int           // speculative replica dispatches launched
+	HedgedSubs   int           // hedged replica legs sent (budget denominator)
+	HedgesDenied int           // hedges suppressed by budget, cap, or overload
+	HedgeWins    int           // hedges that answered before the primary
+	Scanned      int           // objects scanned across nodes
 }
 
 // Frontend schedules and executes queries against a node view.
@@ -128,6 +173,14 @@ type Frontend struct {
 	workers chan struct{} // dispatch worker slots (nil = unlimited)
 
 	lat latTracker // recent sub-query latencies (adaptive hedge delay)
+	// nodeLat holds per-node latency distributions: a node serving a
+	// naturally large arc is judged against its own history, not the
+	// fleet's, once it has enough samples (guarded by f.mu).
+	nodeLat map[ring.NodeID]*latTracker
+
+	budget    *hedgeBudget  // hedge rate limit; nil = un-budgeted (guarded by f.mu)
+	shed      atomic.Int64  // queries shed since the last health report
+	reportSeq atomic.Uint64 // health report sequence numbers
 
 	stop      chan struct{} // stops the background prober
 	closeOnce sync.Once
@@ -154,9 +207,21 @@ type tuning struct {
 	hedgeDelay         time.Duration
 	hedgeQuantile      float64
 	probeInterval      time.Duration
+	hedgeBudgetFrac    float64 // resolved: >0 budgeted, <0 unlimited
+	hedgeBudgetBurst   float64
+	hedgeMaxPerQuery   int
+	shedHighWater      int
 }
 
 func (f *Frontend) baseTuning() tuning {
+	frac := f.cfg.HedgeBudgetFraction
+	if frac == 0 {
+		frac = defaultHedgeBudgetFraction
+	}
+	burst := f.cfg.HedgeBudgetBurst
+	if burst <= 0 {
+		burst = defaultHedgeBudgetBurst
+	}
 	return tuning{
 		poolSize:           f.cfg.PoolSize,
 		maxInFlight:        f.cfg.MaxInFlight,
@@ -166,6 +231,10 @@ func (f *Frontend) baseTuning() tuning {
 		hedgeDelay:         f.cfg.HedgeDelay,
 		hedgeQuantile:      f.cfg.HedgeQuantile,
 		probeInterval:      f.cfg.ProbeInterval,
+		hedgeBudgetFrac:    frac,
+		hedgeBudgetBurst:   burst,
+		hedgeMaxPerQuery:   f.cfg.HedgeMaxPerQuery,
+		shedHighWater:      f.cfg.ShedHighWater,
 	}
 }
 
@@ -198,7 +267,28 @@ func (t tuning) merge(pt *proto.Tuning) tuning {
 	if pt.ProbeIntervalNanos > 0 {
 		t.probeInterval = time.Duration(pt.ProbeIntervalNanos)
 	}
+	if pt.HedgeBudgetFraction != 0 {
+		t.hedgeBudgetFrac = pt.HedgeBudgetFraction
+	}
+	if pt.HedgeBudgetBurst > 0 {
+		t.hedgeBudgetBurst = pt.HedgeBudgetBurst
+	}
+	if pt.HedgeMaxPerQuery > 0 {
+		t.hedgeMaxPerQuery = pt.HedgeMaxPerQuery
+	}
+	if pt.ShedHighWater > 0 {
+		t.shedHighWater = pt.ShedHighWater
+	}
 	return t
+}
+
+// newBudget builds the hedge token bucket for a tuning state; nil when
+// the budget is disabled (negative fraction).
+func (t tuning) newBudget() *hedgeBudget {
+	if t.hedgeBudgetFrac < 0 {
+		return nil
+	}
+	return newHedgeBudget(t.hedgeBudgetFrac, t.hedgeBudgetBurst, nil)
 }
 
 func semaphore(n int) chan struct{} {
@@ -228,6 +318,7 @@ func New(cfg Config) *Frontend {
 	f := &Frontend{
 		cfg:       cfg,
 		nodes:     make(map[ring.NodeID]*handle),
+		nodeLat:   make(map[ring.NodeID]*latTracker),
 		stop:      make(chan struct{}),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		queueS:    stats.NewSample(0),
@@ -239,6 +330,7 @@ func New(cfg Config) *Frontend {
 	f.tune = f.baseTuning()
 	f.admit = semaphore(f.tune.maxInFlight)
 	f.workers = semaphore(f.tune.dispatchWorkers)
+	f.budget = f.tune.newBudget()
 	go f.probeLoop()
 	return f
 }
@@ -294,6 +386,9 @@ func (f *Frontend) ApplyView(v proto.View) error {
 	if tune.dispatchWorkers != f.tune.dispatchWorkers {
 		f.workers = semaphore(tune.dispatchWorkers)
 	}
+	if tune.hedgeBudgetFrac != f.tune.hedgeBudgetFrac || tune.hedgeBudgetBurst != f.tune.hedgeBudgetBurst {
+		f.budget = tune.newBudget()
+	}
 	f.tune = tune
 	seen := map[ring.NodeID]bool{}
 	for _, ni := range v.Nodes {
@@ -321,7 +416,14 @@ func (f *Frontend) ApplyView(v proto.View) error {
 				h.credits = semaphore(tune.nodeMaxOutstanding)
 			}
 			h.mu.Unlock()
-			h.clearSuspicion()
+			// The view's health verdict wins over local state: a
+			// quarantine demotes the node whatever we observed, and a
+			// retained, un-quarantined node deserves re-evaluation.
+			if ni.Quarantined {
+				h.setQuarantined()
+			} else {
+				h.clearSuspicion()
+			}
 			continue
 		}
 		if h, ok := f.nodes[id]; ok {
@@ -330,15 +432,20 @@ func (f *Frontend) ApplyView(v proto.View) error {
 		sp := stats.NewEWMA(f.cfg.SpeedAlpha)
 		sp.Set(f.cfg.InitialSpeed)
 		cl := wire.NewClientWithConfig(ni.Addr, wire.ClientConfig{PoolSize: tune.poolSize})
-		f.nodes[id] = &handle{
+		h := &handle{
 			id: id, addr: ni.Addr, client: cl, speed: sp,
 			credits: semaphore(tune.nodeMaxOutstanding),
 		}
+		if ni.Quarantined {
+			h.state = stateQuarantined
+		}
+		f.nodes[id] = h
 	}
 	for id, h := range f.nodes {
 		if !seen[id] {
 			h.wireClient().Close()
 			delete(f.nodes, id)
+			delete(f.nodeLat, id)
 		}
 	}
 	f.view = v
@@ -391,8 +498,8 @@ func (f *Frontend) estimator() core.Estimator {
 			return 1e12
 		}
 		st, out, depth := h.loadSnapshot()
-		if st == stateSuspected {
-			return 1e12 // unschedulable until a probe clears it
+		if st == stateSuspected || st == stateQuarantined {
+			return 1e12 // unschedulable until a probe or view clears it
 		}
 		sp, _ := h.speed.Value()
 		if sp <= 0 {
@@ -411,10 +518,23 @@ func (f *Frontend) estimator() core.Estimator {
 	})
 }
 
-// Execute runs one encrypted query end to end: admission, scheduling,
-// pipelined dispatch with hedging, and streaming merge.
+// Execute runs one encrypted query end to end at PriorityNormal:
+// admission, scheduling, pipelined dispatch with hedging, and
+// streaming merge.
 func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
+	return f.ExecuteOpts(ctx, q, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with explicit per-query options. PriorityLow
+// queries are shed with ErrShed — before consuming an admission slot —
+// while the cluster's reported queue depths are over the shed
+// high-water mark.
+func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOptions) (Result, error) {
 	t0 := time.Now()
+	if opts.Priority < PriorityNormal && f.overloaded() {
+		f.shed.Add(1)
+		return Result{}, ErrShed
+	}
 	f.mu.RLock()
 	admit := f.admit
 	queueTO := f.tune.queueTimeout
@@ -494,17 +614,19 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	mergeDur := time.Since(t2)
 
 	out := Result{
-		IDs:        ids,
-		Delay:      time.Since(t0),
-		Queue:      queueDur,
-		Schedule:   schedDur,
-		Dispatch:   dispatchDur,
-		Merge:      mergeDur,
-		SubQueries: agg.sent,
-		Failures:   agg.failures,
-		Hedges:     agg.hedges,
-		HedgeWins:  agg.hedgeWins,
-		Scanned:    agg.scanned,
+		IDs:          ids,
+		Delay:        time.Since(t0),
+		Queue:        queueDur,
+		Schedule:     schedDur,
+		Dispatch:     dispatchDur,
+		Merge:        mergeDur,
+		SubQueries:   agg.sent,
+		Failures:     agg.failures,
+		Hedges:       agg.hedges,
+		HedgedSubs:   agg.hedgedSubs,
+		HedgesDenied: agg.hedgesDenied,
+		HedgeWins:    agg.hedgeWins,
+		Scanned:      agg.scanned,
 	}
 	// Record the phase breakdown before the error check: failed queries
 	// are exactly the ones whose delay anatomy the breakdown must not
@@ -530,15 +652,17 @@ type aggregator struct {
 	qid     uint64
 	workers chan struct{} // nil = unbounded
 
-	mu        sync.Mutex
-	seen      map[uint64]struct{}
-	ids       []uint64
-	sent      int
-	failures  int
-	hedges    int
-	hedgeWins int
-	scanned   int
-	err       error
+	mu           sync.Mutex
+	seen         map[uint64]struct{}
+	ids          []uint64
+	sent         int
+	failures     int
+	hedges       int
+	hedgedSubs   int
+	hedgesDenied int
+	hedgeWins    int
+	scanned      int
+	err          error
 }
 
 func (a *aggregator) add(resp proto.QueryResp) {
@@ -578,8 +702,25 @@ func (a *aggregator) countFailure() {
 func (a *aggregator) hedgeLaunched(n int) {
 	a.mu.Lock()
 	a.hedges++
+	a.hedgedSubs += n
 	a.sent += n
 	a.mu.Unlock()
+}
+
+// hedgeDenied counts a hedge suppressed by the budget, the per-query
+// cap, or overload.
+func (a *aggregator) hedgeDenied() {
+	a.mu.Lock()
+	a.hedgesDenied++
+	a.mu.Unlock()
+}
+
+// hedgedCount reports the hedged legs launched so far for this query
+// (per-query cap accounting).
+func (a *aggregator) hedgedCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hedgedSubs
 }
 
 func (a *aggregator) hedgeWon() {
@@ -690,7 +831,7 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 	// estimate (observed fraction/second).
 	elapsed := time.Since(start)
 	h.contactOK(resp.QueueDepth)
-	f.lat.observe(elapsed)
+	f.observeLatency(sub.Node, elapsed)
 	if d := elapsed.Seconds(); d > 0 && size > 0 {
 		h.speed.Observe(size / d)
 	}

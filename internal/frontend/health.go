@@ -21,17 +21,28 @@ import (
 //	suspected ──(probe RPC ok, or retained by a new view)──▶ recovering
 //	recovering ──(sub-query ok)──▶ healthy
 //	recovering ──(sub-query error)──▶ suspected
+//	any ──(view marks node quarantined)──▶ quarantined
+//	quarantined ──(view clears the mark)──▶ recovering
 //
 // Suspected nodes are unschedulable and probed in the background;
 // recovering nodes are scheduled normally (their speed EWMA and the
 // queue depth they report keep the scheduler honest) and promote back
 // to healthy on the first successful sub-query.
+//
+// Quarantined is the membership layer's verdict, not a local one: the
+// health aggregator saw enough evidence across the fleet to demote the
+// node from scheduling. It is sticky against local observations — the
+// background probe keeps running (its outcomes are the recovery
+// evidence the next HealthReport carries upstream), but only a new
+// view can make the node schedulable again, so one frontend's lucky
+// probe cannot diverge from the published topology.
 type nodeState int32
 
 const (
 	stateHealthy nodeState = iota
 	stateSuspected
 	stateRecovering
+	stateQuarantined
 )
 
 func (s nodeState) String() string {
@@ -40,6 +51,8 @@ func (s nodeState) String() string {
 		return "suspected"
 	case stateRecovering:
 		return "recovering"
+	case stateQuarantined:
+		return "quarantined"
 	default:
 		return "healthy"
 	}
@@ -59,6 +72,14 @@ type handle struct {
 	state       nodeState
 	outstanding float64 // sum of in-flight sub-query sizes (this frontend)
 	depth       int     // last remote queue-depth report
+
+	// Observation deltas since the last HealthReport; snapshot-and-reset
+	// by Frontend.HealthReport so the membership aggregator can sum
+	// reports across frontends without double counting.
+	suspicions int // healthy/recovering -> suspected transitions
+	probeOKs   int
+	probeFails int
+	contacts   int // successful sub-query completions
 }
 
 // wireClient snapshots the (swappable) client.
@@ -76,19 +97,36 @@ func (h *handle) healthState() nodeState {
 
 func (h *handle) isSuspected() bool { return h.healthState() == stateSuspected }
 
+// unschedulable reports whether the node must be planned around:
+// locally suspected, or demoted by the membership view.
+func (h *handle) unschedulable() bool {
+	st := h.healthState()
+	return st == stateSuspected || st == stateQuarantined
+}
+
 // suspect records a genuine sub-query failure (timeout or transport
-// error that was not a caller cancellation).
+// error that was not a caller cancellation). Quarantined nodes stay
+// quarantined — the view owns that state — but the evidence still
+// counts toward the next health report.
 func (h *handle) suspect() {
 	h.mu.Lock()
-	h.state = stateSuspected
+	if h.state != stateSuspected {
+		h.suspicions++
+	}
+	if h.state != stateQuarantined {
+		h.state = stateSuspected
+	}
 	h.mu.Unlock()
 }
 
 // probeOK records a successful background probe: the node answers RPCs
 // again, so suspicion lifts, but it stays "recovering" until a real
-// sub-query confirms it end to end.
+// sub-query confirms it end to end. A quarantined node is NOT promoted
+// — the probe outcome rides the next HealthReport and the membership
+// aggregator decides.
 func (h *handle) probeOK(depth int) {
 	h.mu.Lock()
+	h.probeOKs++
 	if h.state == stateSuspected {
 		h.state = stateRecovering
 	}
@@ -96,22 +134,43 @@ func (h *handle) probeOK(depth int) {
 	h.mu.Unlock()
 }
 
+// probeFail records an unanswered background probe (the node stays in
+// its current state; the counter is recovery evidence's counterpart).
+func (h *handle) probeFail() {
+	h.mu.Lock()
+	h.probeFails++
+	h.mu.Unlock()
+}
+
 // clearSuspicion is probeOK without a depth report — used when a new
-// membership view retains the node, which is the membership layer's
-// assertion that it is worth re-evaluating.
+// membership view retains the node without quarantining it, which is
+// the membership layer's assertion that it is worth re-evaluating.
+// This is also the only transition out of quarantine.
 func (h *handle) clearSuspicion() {
 	h.mu.Lock()
-	if h.state == stateSuspected {
+	if h.state == stateSuspected || h.state == stateQuarantined {
 		h.state = stateRecovering
 	}
 	h.mu.Unlock()
 }
 
+// setQuarantined applies the view's demotion verdict.
+func (h *handle) setQuarantined() {
+	h.mu.Lock()
+	h.state = stateQuarantined
+	h.mu.Unlock()
+}
+
 // contactOK records a successful sub-query: full health, whatever the
-// prior state, plus the fresh queue-depth report.
+// prior local state, plus the fresh queue-depth report. (A quarantined
+// node keeps its view-assigned state; completions on it can only come
+// from requests already in flight when the quarantine view landed.)
 func (h *handle) contactOK(depth int) {
 	h.mu.Lock()
-	h.state = stateHealthy
+	h.contacts++
+	if h.state != stateQuarantined {
+		h.state = stateHealthy
+	}
 	h.depth = depth
 	h.mu.Unlock()
 }
@@ -133,14 +192,15 @@ func (f *Frontend) suspect(id ring.NodeID) {
 	}
 }
 
-// suspectedSet snapshots the currently suspected nodes (the set the
-// scheduler must plan around and RepairPlan must avoid).
+// suspectedSet snapshots the currently unschedulable nodes — locally
+// suspected plus view-quarantined — the set the scheduler must plan
+// around, RepairPlan must avoid, and hedging must not target.
 func (f *Frontend) suspectedSet() map[ring.NodeID]bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	out := make(map[ring.NodeID]bool)
 	for id, h := range f.nodes {
-		if h.isSuspected() {
+		if h.unschedulable() {
 			out[id] = true
 		}
 	}
@@ -178,6 +238,96 @@ func (f *Frontend) Health() map[int]string {
 	return out
 }
 
+// HealthReport snapshots this frontend's observation deltas for the
+// membership health aggregator and resets the counters, so consecutive
+// reports carry disjoint evidence. Entries are sorted by node id.
+func (f *Frontend) HealthReport() proto.HealthReport {
+	rep := proto.HealthReport{
+		FE:   f.cfg.Name,
+		Seq:  f.reportSeq.Add(1),
+		Shed: int(f.shed.Swap(0)),
+	}
+	f.mu.RLock()
+	handles := make([]*handle, 0, len(f.nodes))
+	for _, h := range f.nodes {
+		handles = append(handles, h)
+	}
+	f.mu.RUnlock()
+	for _, h := range handles {
+		h.mu.Lock()
+		nh := proto.NodeHealth{
+			ID:         int(h.id),
+			Suspicions: h.suspicions,
+			ProbeOKs:   h.probeOKs,
+			ProbeFails: h.probeFails,
+			Contacts:   h.contacts,
+			QueueDepth: h.depth,
+		}
+		h.suspicions, h.probeOKs, h.probeFails, h.contacts = 0, 0, 0, 0
+		h.mu.Unlock()
+		if v, ok := h.speed.Value(); ok {
+			nh.Speed = v
+		}
+		rep.Nodes = append(rep.Nodes, nh)
+	}
+	sort.Slice(rep.Nodes, func(a, b int) bool { return rep.Nodes[a].ID < rep.Nodes[b].ID })
+	return rep
+}
+
+// RestoreHealthReport re-credits a report whose delivery failed: the
+// counters are deltas destructively snapshotted by HealthReport, so a
+// push that errors (coordinator restart, network blip) must fold its
+// evidence back for the next attempt — losing it exactly when the
+// control plane is flaky would silence failure evidence when it
+// matters most. Sequence numbers are not rolled back; the aggregator
+// tolerates gaps.
+func (f *Frontend) RestoreHealthReport(rep proto.HealthReport) {
+	f.shed.Add(int64(rep.Shed))
+	f.mu.RLock()
+	handles := make(map[int]*handle, len(f.nodes))
+	for id, h := range f.nodes {
+		handles[int(id)] = h
+	}
+	f.mu.RUnlock()
+	for _, nh := range rep.Nodes {
+		h := handles[nh.ID]
+		if h == nil {
+			continue // node left the view meanwhile; its evidence is moot
+		}
+		h.mu.Lock()
+		h.suspicions += nh.Suspicions
+		h.probeOKs += nh.ProbeOKs
+		h.probeFails += nh.ProbeFails
+		h.contacts += nh.Contacts
+		h.mu.Unlock()
+	}
+}
+
+// overloaded reports whether the mean self-reported queue depth across
+// schedulable nodes has crossed the shed high-water mark (0 disables).
+// Overload flips the frontend into load-preservation mode: hedging —
+// pure extra load — pauses, and sheddable-priority admissions are
+// rejected up front (Badue et al.: shed before saturation, not after).
+func (f *Frontend) overloaded() bool {
+	f.mu.RLock()
+	hw := f.tune.shedHighWater
+	if hw <= 0 {
+		f.mu.RUnlock()
+		return false
+	}
+	var sum, n int
+	for _, h := range f.nodes {
+		st, _, depth := h.loadSnapshot()
+		if st == stateSuspected || st == stateQuarantined {
+			continue
+		}
+		sum += depth
+		n++
+	}
+	f.mu.RUnlock()
+	return n > 0 && sum >= hw*n
+}
+
 // probeLoop is the background recovery prober: every probe interval it
 // pings suspected nodes and lifts suspicion from the ones that answer.
 // It runs for the frontend's lifetime; Close stops it.
@@ -202,8 +352,11 @@ func (f *Frontend) probeLoop() {
 	}
 }
 
-// probeSuspects pings every suspected node concurrently, bounding each
-// probe by the probe interval (capped at 1s).
+// probeSuspects pings every suspected or quarantined node concurrently,
+// bounding each probe by the probe interval (capped at 1s). For
+// suspected nodes a successful probe lifts suspicion; for quarantined
+// nodes it only accumulates recovery evidence for the next health
+// report — the membership aggregator decides when they rejoin.
 func (f *Frontend) probeSuspects(timeout time.Duration) {
 	if timeout > time.Second {
 		timeout = time.Second
@@ -211,7 +364,7 @@ func (f *Frontend) probeSuspects(timeout time.Duration) {
 	f.mu.RLock()
 	var suspects []*handle
 	for _, h := range f.nodes {
-		if h.isSuspected() {
+		if h.unschedulable() {
 			suspects = append(suspects, h)
 		}
 	}
@@ -228,7 +381,8 @@ func (f *Frontend) probeSuspects(timeout time.Duration) {
 			defer cancel()
 			var pr proto.PingResp
 			if err := h.wireClient().Call(ctx, proto.MNodePing, proto.PingReq{}, &pr); err != nil {
-				return // still unreachable; stay suspected
+				h.probeFail() // still unreachable; stay put
+				return
 			}
 			h.probeOK(pr.QueueDepth)
 		}(h)

@@ -9,6 +9,7 @@ import (
 	"roar/internal/core"
 	"roar/internal/pps"
 	"roar/internal/proto"
+	"roar/internal/ring"
 )
 
 // Hedged dispatch (Tail-Tolerant Distributed Search; Dean's tail-at-
@@ -41,6 +42,13 @@ const (
 	latWarmup      = 32 // observations before the quantile is trusted
 	recomputeEvery = 64
 )
+
+// count reports the tracked observations (per-node sample-floor check).
+func (l *latTracker) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
 
 func (l *latTracker) observe(d time.Duration) {
 	l.mu.Lock()
@@ -80,19 +88,53 @@ func (l *latTracker) quantile(q float64) time.Duration {
 	return time.Duration(l.cached * float64(time.Second))
 }
 
-// hedgeDelay returns the current delay before a slow sub-query is
-// hedged, or 0 when hedging is off. With a quantile configured the
-// delay adapts to the observed latency distribution (fixed HedgeDelay
-// serves as floor and cold-start value); otherwise the fixed delay is
-// used as-is.
-func (f *Frontend) hedgeDelay() time.Duration {
+// nodeTracker returns (creating on demand) the latency tracker for one
+// node.
+func (f *Frontend) nodeTracker(id ring.NodeID) *latTracker {
+	f.mu.RLock()
+	l := f.nodeLat[id]
+	f.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l = f.nodeLat[id]; l == nil {
+		l = &latTracker{}
+		f.nodeLat[id] = l
+	}
+	return l
+}
+
+// observeLatency feeds one sub-query latency sample into the global and
+// the per-node distribution.
+func (f *Frontend) observeLatency(id ring.NodeID, d time.Duration) {
+	f.lat.observe(d)
+	f.nodeTracker(id).observe(d)
+}
+
+// hedgeDelay returns the current delay before a slow sub-query on node
+// id is hedged, or 0 when hedging is off. With a quantile configured
+// the delay adapts to the node's own latency distribution once it has
+// latWarmup samples, falling back to the global distribution below that
+// floor (fixed HedgeDelay serves as floor and cold-start value in both
+// cases); otherwise the fixed delay is used as-is. Judging a node
+// against its own history matters: a node serving a large arc is
+// legitimately slower than the fleet, and the global quantile would
+// hedge every one of its sub-queries.
+func (f *Frontend) hedgeDelay(id ring.NodeID) time.Duration {
 	f.mu.RLock()
 	hd, hq := f.tune.hedgeDelay, f.tune.hedgeQuantile
+	nl := f.nodeLat[id]
 	f.mu.RUnlock()
 	if hq <= 0 || hq >= 1 {
 		return hd
 	}
-	if q := f.lat.quantile(hq); q > hd {
+	lat := &f.lat
+	if nl != nil && nl.count() >= latWarmup {
+		lat = nl
+	}
+	if q := lat.quantile(hq); q > hd {
 		hd = q
 	}
 	if hd > 0 && hd < minHedgeDelay {
@@ -122,7 +164,15 @@ type subResult struct {
 // §4.4 re-dispatch). Suspicion is only recorded for legs that failed on
 // their own — never for legs we cancelled after losing the race.
 func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est core.Estimator, agg *aggregator, q pps.Query, sub core.SubQuery) error {
-	hd := f.hedgeDelay()
+	// Every primary dispatch funds the hedge budget with its fraction
+	// of a token, whatever happens to this particular sub-query.
+	f.mu.RLock()
+	budget := f.budget
+	maxPerQuery := f.tune.hedgeMaxPerQuery
+	f.mu.RUnlock()
+	budget.earn(1)
+
+	hd := f.hedgeDelay(sub.Node)
 	if hd <= 0 || hd >= f.cfg.SubQueryTimeout {
 		resp, err := f.sendSub(ctx, agg.workers, agg.qid, q, sub, nil)
 		if err == nil {
@@ -179,9 +229,25 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 	// The primary is slower than the hedge delay: race replicas against
 	// it. All hedge legs must succeed for the hedge side to cover the
 	// arc (a bracket pair covers it jointly; a cross-ring replica alone).
+	// But hedging is pure extra load, so it must clear three gates
+	// first: the overload brake (no speculation while reported queue
+	// depths are over the high-water mark), the per-query cap, and the
+	// global token-bucket budget — one token per replica leg.
+	if f.overloaded() {
+		agg.hedgeDenied()
+		return finishPrimary(<-primary)
+	}
 	hsubs, herr := f.hedgeCandidates(pl, est, sub)
 	if herr != nil {
 		return finishPrimary(<-primary) // no replica available
+	}
+	if maxPerQuery > 0 && agg.hedgedCount()+len(hsubs) > maxPerQuery {
+		agg.hedgeDenied()
+		return finishPrimary(<-primary)
+	}
+	if !budget.take(len(hsubs)) {
+		agg.hedgeDenied()
+		return finishPrimary(<-primary)
 	}
 	agg.hedgeLaunched(len(hsubs))
 	// Bound the hedge side as a whole by the sub-query timer: its legs'
@@ -268,7 +334,7 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 // bias holds the quantile far below real latency — every sub-query
 // hedges, amplifying load exactly when the cluster is saturated.
 func (f *Frontend) observeSlow(sub core.SubQuery, elapsed time.Duration) {
-	f.lat.observe(elapsed)
+	f.observeLatency(sub.Node, elapsed)
 	f.mu.RLock()
 	h := f.nodes[sub.Node]
 	f.mu.RUnlock()

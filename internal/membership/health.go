@@ -1,0 +1,260 @@
+// Membership-side health aggregation: the coordinator folds the
+// periodic per-frontend HealthReports (suspicion events, probe
+// outcomes, queue depths) into one failure-evidence score per node,
+// quarantines nodes whose score crosses a threshold by publishing views
+// with the node demoted from scheduling — NOT dropped from storage, so
+// recovery is a view flip rather than a data transfer — and
+// un-quarantines them when recovery evidence (successful probes)
+// drains the score back down.
+//
+// This closes the loop §5 assumes: the seed treated a frontend Failed
+// report as a one-shot hint that immediately redistributed the node's
+// range (expensive, irreversible, and triggered by a single frontend's
+// timeout). Now HandleFailure is just one evidence input to the
+// aggregator; the actual topology change — Decommission — is reserved
+// for nodes that are genuinely gone.
+package membership
+
+import (
+	"sort"
+	"sync"
+
+	"roar/internal/proto"
+	"roar/internal/ring"
+)
+
+// HealthConfig tunes the failure/overload control loop.
+type HealthConfig struct {
+	// QuarantineThreshold is the evidence score at which a node is
+	// demoted from scheduling. Each suspicion event reported by a
+	// frontend adds 1, each failed recovery probe 0.5; successful
+	// probes and real sub-query completions subtract. Default 3 — e.g.
+	// three frontends suspecting in one interval, or one frontend
+	// suspecting across three.
+	QuarantineThreshold float64
+	// RecoverThreshold is the score at or below which a quarantined
+	// node is re-admitted to scheduling. Default 0: recovery evidence
+	// must fully drain the accumulated suspicion (hysteresis against
+	// flapping).
+	RecoverThreshold float64
+	// FailWeight is the score added by a hard failure report — the
+	// legacy ReportReq.Failed path and HandleFailure. Default 1.
+	FailWeight float64
+	// ScoreCap bounds the score so a long outage cannot make recovery
+	// arbitrarily slow. Default 2 × QuarantineThreshold.
+	ScoreCap float64
+	// MaxQuarantineFraction refuses to quarantine beyond this fraction
+	// of the cluster (correlated slowness means overload, not failure —
+	// quarantining everyone would turn congestion into an outage).
+	// Default 0.5.
+	MaxQuarantineFraction float64
+}
+
+func (hc HealthConfig) withDefaults() HealthConfig {
+	if hc.QuarantineThreshold <= 0 {
+		hc.QuarantineThreshold = 3
+	}
+	if hc.RecoverThreshold < 0 {
+		hc.RecoverThreshold = 0
+	}
+	if hc.FailWeight <= 0 {
+		hc.FailWeight = 1
+	}
+	if hc.ScoreCap <= 0 {
+		hc.ScoreCap = 2 * hc.QuarantineThreshold
+	}
+	if hc.MaxQuarantineFraction <= 0 {
+		hc.MaxQuarantineFraction = 0.5
+	}
+	return hc
+}
+
+// healthState is the aggregator's bookkeeping, separate from the
+// topology mutex so report floods never contend with view pushes.
+type healthState struct {
+	mu          sync.Mutex
+	cfg         HealthConfig
+	scores      map[ring.NodeID]float64
+	quarantined map[ring.NodeID]bool
+	feSeq       map[string]uint64 // per-frontend last report seq
+	shedTotal   int64             // cumulative shed admissions fleet-wide
+}
+
+func newHealthState(cfg HealthConfig) *healthState {
+	return &healthState{
+		cfg:         cfg.withDefaults(),
+		scores:      map[ring.NodeID]float64{},
+		quarantined: map[ring.NodeID]bool{},
+		feSeq:       map[string]uint64{},
+	}
+}
+
+// adjustLocked applies an evidence delta and returns true when the
+// node's quarantine status flipped. total is the schedulable-cluster
+// size, for the max-fraction guard.
+func (h *healthState) adjustLocked(id ring.NodeID, delta float64, total int) (flipped bool) {
+	s := h.scores[id] + delta
+	if s < 0 {
+		s = 0
+	}
+	if s > h.cfg.ScoreCap {
+		s = h.cfg.ScoreCap
+	}
+	h.scores[id] = s
+	switch {
+	case !h.quarantined[id] && s >= h.cfg.QuarantineThreshold:
+		if float64(len(h.quarantined)+1) > h.cfg.MaxQuarantineFraction*float64(total) {
+			return false // refuse: too much of the cluster already demoted
+		}
+		h.quarantined[id] = true
+		return true
+	case h.quarantined[id] && s <= h.cfg.RecoverThreshold:
+		delete(h.quarantined, id)
+		return true
+	}
+	return false
+}
+
+func (h *healthState) forget(id ring.NodeID) {
+	h.mu.Lock()
+	delete(h.scores, id)
+	delete(h.quarantined, id)
+	h.mu.Unlock()
+}
+
+func (h *healthState) quarantinedSorted() []int {
+	out := make([]int, 0, len(h.quarantined))
+	for id := range h.quarantined {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReportHealth folds one frontend's observation deltas into the
+// per-node evidence scores, applies any quarantine transitions (each
+// bumps the view epoch), and answers with the current verdict so the
+// frontend can re-pull the view immediately when it is stale.
+func (c *Coordinator) ReportHealth(rep proto.HealthReport) proto.HealthResp {
+	c.mu.Lock()
+	members := make(map[ring.NodeID]bool, len(c.ringOf))
+	for id := range c.ringOf {
+		members[id] = true
+	}
+	c.mu.Unlock()
+
+	h := c.health
+	h.mu.Lock()
+	if rep.FE != "" && rep.Seq != 0 {
+		// Only an exact sequence repeat is a duplicate (an at-most-once
+		// sender can re-deliver just its last report). A LOWER sequence
+		// means the frontend restarted and its counter began again at 1
+		// — its evidence must keep flowing, not be silenced until the
+		// new counter outruns the old incarnation's.
+		if last, ok := h.feSeq[rep.FE]; ok && rep.Seq == last {
+			resp := proto.HealthResp{Quarantined: h.quarantinedSorted()}
+			h.mu.Unlock()
+			resp.Epoch = c.Epoch()
+			return resp
+		}
+		h.feSeq[rep.FE] = rep.Seq
+	}
+	h.shedTotal += int64(rep.Shed)
+	var flips int
+	speeds := map[ring.NodeID]float64{}
+	for _, nh := range rep.Nodes {
+		id := ring.NodeID(nh.ID)
+		if !members[id] {
+			continue
+		}
+		if nh.Speed > 0 {
+			speeds[id] = nh.Speed
+		}
+		bad := float64(nh.Suspicions) + 0.5*float64(nh.ProbeFails)
+		good := 0.5 * float64(nh.ProbeOKs)
+		if nh.Contacts > 0 {
+			// Real completions are the strongest health signal, but cap
+			// their weight: a high-traffic interval must not let one
+			// node bank unbounded goodwill against future evidence.
+			cw := float64(nh.Contacts)
+			if cw > 4 {
+				cw = 4
+			}
+			good += cw
+		}
+		if delta := bad - good; delta != 0 || h.scores[id] != 0 {
+			if h.adjustLocked(id, delta, len(members)) {
+				flips++
+			}
+		}
+	}
+	resp := proto.HealthResp{Quarantined: h.quarantinedSorted()}
+	h.mu.Unlock()
+
+	if len(speeds) > 0 {
+		c.ReportSpeeds(speeds)
+	}
+	if flips > 0 {
+		c.mu.Lock()
+		c.epoch++
+		c.mu.Unlock()
+	}
+	resp.Epoch = c.Epoch()
+	return resp
+}
+
+// HandleFailure records a hard failure report for a node — the legacy
+// one-shot "this node is dead" hint from a frontend. It is now one
+// evidence input to the health loop (worth FailWeight) rather than an
+// immediate range redistribution; repeated reports quarantine the node,
+// and Decommission remains the explicit path for nodes that are
+// permanently gone.
+func (c *Coordinator) HandleFailure(id ring.NodeID) {
+	c.mu.Lock()
+	_, ok := c.ringOf[id]
+	total := len(c.ringOf)
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	h := c.health
+	h.mu.Lock()
+	flipped := h.adjustLocked(id, h.cfg.FailWeight, total)
+	h.mu.Unlock()
+	if flipped {
+		c.mu.Lock()
+		c.epoch++
+		c.mu.Unlock()
+	}
+}
+
+// Quarantined returns the node ids currently demoted from scheduling,
+// sorted ascending.
+func (c *Coordinator) Quarantined() []int {
+	c.health.mu.Lock()
+	defer c.health.mu.Unlock()
+	return c.health.quarantinedSorted()
+}
+
+// HealthScore exposes a node's current evidence score (tests,
+// operational introspection).
+func (c *Coordinator) HealthScore(id ring.NodeID) float64 {
+	c.health.mu.Lock()
+	defer c.health.mu.Unlock()
+	return c.health.scores[id]
+}
+
+// ShedTotal reports the cumulative admissions shed across the fleet, as
+// accumulated from health reports.
+func (c *Coordinator) ShedTotal() int64 {
+	c.health.mu.Lock()
+	defer c.health.mu.Unlock()
+	return c.health.shedTotal
+}
+
+// Epoch returns the current view epoch.
+func (c *Coordinator) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}

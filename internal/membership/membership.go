@@ -34,6 +34,9 @@ type Config struct {
 	// Tuning, when set, is distributed to frontends inside every view
 	// so the fleet converges on one execution-pipeline configuration.
 	Tuning *proto.Tuning
+	// Health tunes the failure/overload control loop (health.go).
+	// Zero values use the documented defaults.
+	Health HealthConfig
 }
 
 // Coordinator is the membership server.
@@ -53,6 +56,7 @@ type Coordinator struct {
 	nextID   ring.NodeID
 
 	backend *store.Store // full corpus
+	health  *healthState // failure-evidence aggregation (health.go)
 
 	// Transfer accounting for the reconfiguration experiments.
 	objectsPushed int64
@@ -82,6 +86,7 @@ func New(cfg Config) (*Coordinator, error) {
 		disabled: map[int]bool{},
 		p:        cfg.P,
 		backend:  store.New(),
+		health:   newHealthState(cfg.Health),
 	}
 	for k := 0; k < cfg.Rings; k++ {
 		c.rings = append(c.rings, ring.New())
@@ -122,6 +127,12 @@ func (c *Coordinator) View() proto.View {
 
 func (c *Coordinator) viewLocked() proto.View {
 	v := proto.View{Epoch: c.epoch, P: c.p, Tuning: c.cfg.Tuning}
+	c.health.mu.Lock()
+	quarantined := make(map[ring.NodeID]bool, len(c.health.quarantined))
+	for id := range c.health.quarantined {
+		quarantined[id] = true
+	}
+	c.health.mu.Unlock()
 	for k, r := range c.rings {
 		if c.disabled[k] {
 			continue
@@ -129,6 +140,9 @@ func (c *Coordinator) viewLocked() proto.View {
 		for _, nr := range r.Nodes() {
 			v.Nodes = append(v.Nodes, proto.NodeInfo{
 				ID: int(nr.ID), Ring: k, Start: float64(nr.Start), Addr: c.addrs[nr.ID],
+				// Quarantined nodes stay in the view — they keep their
+				// range and data, frontends just must not schedule them.
+				Quarantined: quarantined[nr.ID],
 			})
 		}
 	}
@@ -336,6 +350,7 @@ func (c *Coordinator) Join(ctx context.Context, addr string, speedHint float64) 
 // absorbed by the predecessor, which is loaded with the data it lacks
 // before the topology change becomes visible.
 func (c *Coordinator) Leave(ctx context.Context, id ring.NodeID) error {
+	c.health.forget(id)
 	c.mu.Lock()
 	k, ok := c.ringOf[id]
 	if !ok {
@@ -367,9 +382,12 @@ func (c *Coordinator) Leave(ctx context.Context, id ring.NodeID) error {
 	return nil
 }
 
-// HandleFailure is Leave for a dead node: identical bookkeeping, but the
-// replacement data necessarily comes from the backend.
-func (c *Coordinator) HandleFailure(ctx context.Context, id ring.NodeID) error {
+// Decommission is Leave for a dead node: identical bookkeeping, but the
+// replacement data necessarily comes from the backend. It is the
+// long-term path of §4.9, taken when a node is known to be permanently
+// gone — transient failure evidence goes through HandleFailure and the
+// quarantine loop instead (health.go).
+func (c *Coordinator) Decommission(ctx context.Context, id ring.NodeID) error {
 	return c.Leave(ctx, id)
 }
 

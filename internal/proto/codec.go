@@ -333,3 +333,84 @@ func (p *PingResp) DecodeWire(data []byte) error {
 	p.QueueDepth = int(r.zigzag("PingResp.QueueDepth"))
 	return r.finish("PingResp")
 }
+
+// --- HealthReport / HealthResp ---
+
+// Health reports ride the same negotiated binary path as the hot
+// bodies: every frontend pushes one per report interval, so at fleet
+// scale the membership server decodes them continuously and the JSON
+// envelope tax (base64-free here, but per-field keys and decimal
+// counters) is worth shedding. A NodeHealth entry needs at least 14
+// wire bytes (six 1-byte varints plus the 8-byte speed), which bounds
+// the decoder's count-versus-bytes sanity check.
+
+const nodeHealthMinBytes = 14
+
+// AppendWire implements wire.WireAppender.
+func (h HealthReport) AppendWire(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(h.FE)))
+	b = append(b, h.FE...)
+	b = binary.AppendUvarint(b, h.Seq)
+	b = appendZigzag(b, int64(h.Shed))
+	b = binary.AppendUvarint(b, uint64(len(h.Nodes)))
+	for _, nh := range h.Nodes {
+		b = appendZigzag(b, int64(nh.ID))
+		b = appendZigzag(b, int64(nh.Suspicions))
+		b = appendZigzag(b, int64(nh.ProbeOKs))
+		b = appendZigzag(b, int64(nh.ProbeFails))
+		b = appendZigzag(b, int64(nh.Contacts))
+		b = appendZigzag(b, int64(nh.QueueDepth))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(nh.Speed))
+	}
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (h *HealthReport) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	h.FE = string(r.bytes("HealthReport.FE"))
+	h.Seq = r.uvarint("HealthReport.Seq")
+	h.Shed = int(r.zigzag("HealthReport.Shed"))
+	n := r.count("HealthReport.Nodes", nodeHealthMinBytes)
+	h.Nodes = nil
+	if n > 0 && r.err == nil {
+		h.Nodes = make([]NodeHealth, 0, capHint(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			var nh NodeHealth
+			nh.ID = int(r.zigzag("NodeHealth.ID"))
+			nh.Suspicions = int(r.zigzag("NodeHealth.Suspicions"))
+			nh.ProbeOKs = int(r.zigzag("NodeHealth.ProbeOKs"))
+			nh.ProbeFails = int(r.zigzag("NodeHealth.ProbeFails"))
+			nh.Contacts = int(r.zigzag("NodeHealth.Contacts"))
+			nh.QueueDepth = int(r.zigzag("NodeHealth.QueueDepth"))
+			nh.Speed = math.Float64frombits(r.u64("NodeHealth.Speed"))
+			h.Nodes = append(h.Nodes, nh)
+		}
+	}
+	return r.finish("HealthReport")
+}
+
+// AppendWire implements wire.WireAppender.
+func (h HealthResp) AppendWire(b []byte) []byte {
+	b = appendZigzag(b, int64(h.Epoch))
+	b = binary.AppendUvarint(b, uint64(len(h.Quarantined)))
+	for _, id := range h.Quarantined {
+		b = appendZigzag(b, int64(id))
+	}
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (h *HealthResp) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	h.Epoch = int(r.zigzag("HealthResp.Epoch"))
+	n := r.count("HealthResp.Quarantined", 1)
+	h.Quarantined = nil
+	if n > 0 && r.err == nil {
+		h.Quarantined = make([]int, 0, capHint(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			h.Quarantined = append(h.Quarantined, int(r.zigzag("HealthResp.Quarantined id")))
+		}
+	}
+	return r.finish("HealthResp")
+}

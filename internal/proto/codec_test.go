@@ -59,6 +59,16 @@ func TestBinaryCodecGoldenRoundTrip(t *testing.T) {
 		{"PutReq/empty", PutReq{}, &PutReq{}},
 		{"PingReq", PingReq{}, &PingReq{}},
 		{"PingResp", PingResp{QueueDepth: 42}, &PingResp{}},
+		{"HealthReport", HealthReport{
+			FE: "fe-127.0.0.1:8000", Seq: 77, Shed: 3,
+			Nodes: []NodeHealth{
+				{ID: 0, Suspicions: 2, ProbeFails: 5, QueueDepth: 9, Speed: 0.125},
+				{ID: 41, ProbeOKs: 3, Contacts: 1000, Speed: 123456.75},
+			},
+		}, &HealthReport{}},
+		{"HealthReport/empty", HealthReport{}, &HealthReport{}},
+		{"HealthResp", HealthResp{Epoch: 12, Quarantined: []int{3, 7, 41}}, &HealthResp{}},
+		{"HealthResp/empty", HealthResp{}, &HealthResp{}},
 	}
 	type appender interface{ AppendWire([]byte) []byte }
 	type decoder interface{ DecodeWire([]byte) error }
@@ -259,6 +269,38 @@ func FuzzDecodeQueryResp(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var q QueryResp
 		_ = q.DecodeWire(data)
+	})
+}
+
+// FuzzDecodeHealthReport: truncated/corrupt health pushes must error or
+// decode, never panic or over-allocate; valid decodes must re-encode to
+// a decodable body.
+func FuzzDecodeHealthReport(f *testing.F) {
+	f.Add(HealthReport{
+		FE: "fe", Seq: 9, Shed: 1,
+		Nodes: []NodeHealth{{ID: 4, Suspicions: 1, Speed: 2.5}},
+	}.AppendWire(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h HealthReport
+		if err := h.DecodeWire(data); err != nil {
+			return
+		}
+		var back HealthReport
+		if err := back.DecodeWire(h.AppendWire(nil)); err != nil {
+			t.Fatalf("re-decode of valid HealthReport failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeHealthResp: same contract for the aggregator's verdict.
+func FuzzDecodeHealthResp(f *testing.F) {
+	f.Add(HealthResp{Epoch: 3, Quarantined: []int{1, 2}}.AppendWire(nil))
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h HealthResp
+		_ = h.DecodeWire(data)
 	})
 }
 

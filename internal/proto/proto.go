@@ -24,6 +24,7 @@ const (
 	MMemberSetP   = "member.setp"
 	MMemberReport = "member.report"
 	MMemberLoad   = "member.load"
+	MMemberHealth = "member.health"
 
 	// Frontend client-facing method (cmd/roar-frontend).
 	MFEQuery = "fe.query"
@@ -40,9 +41,12 @@ type LoadResp struct {
 	Records int `json:"records"`
 }
 
-// FEQueryReq is a client query to a frontend.
+// FEQueryReq is a client query to a frontend. Priority selects the
+// admission class: 0 is normal, negative is sheddable (rejected first
+// when the frontend is overloaded), positive is never shed.
 type FEQueryReq struct {
-	Q pps.Query `json:"q"`
+	Q        pps.Query `json:"q"`
+	Priority int       `json:"priority,omitempty"`
 }
 
 // FEQueryResp is the frontend's answer.
@@ -145,6 +149,12 @@ type NodeInfo struct {
 	Ring  int     `json:"ring"`
 	Start float64 `json:"start"`
 	Addr  string  `json:"addr"`
+	// Quarantined demotes the node from scheduling without dropping it
+	// from storage: it keeps its ring range and data (so recovery is a
+	// view flip, not a data transfer), but frontends must not dispatch
+	// sub-queries to it. Set by the membership health aggregator when a
+	// node's failure-evidence score crosses the quarantine threshold.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Tuning carries the frontend execution-pipeline knobs. The membership
@@ -174,6 +184,17 @@ type Tuning struct {
 	// ProbeIntervalNanos is the cadence of the background recovery
 	// probe that re-evaluates suspected nodes.
 	ProbeIntervalNanos int64 `json:"probe_interval_ns,omitempty"`
+	// HedgeBudgetFraction caps hedged sub-query legs to this fraction
+	// of dispatched primaries (token bucket; see frontend.Config).
+	HedgeBudgetFraction float64 `json:"hedge_budget_fraction,omitempty"`
+	// HedgeBudgetBurst is the hedge token-bucket capacity.
+	HedgeBudgetBurst float64 `json:"hedge_budget_burst,omitempty"`
+	// HedgeMaxPerQuery caps hedged legs launched for one query.
+	HedgeMaxPerQuery int `json:"hedge_max_per_query,omitempty"`
+	// ShedHighWater is the mean reported node queue depth at which a
+	// frontend enters overload: hedging pauses and sheddable-priority
+	// admissions are rejected.
+	ShedHighWater int `json:"shed_high_water,omitempty"`
 }
 
 // View is the membership server's cluster snapshot: everything a
@@ -209,8 +230,56 @@ type SetPReq struct {
 }
 
 // ReportReq carries frontend statistics to the membership server
-// (§4.9: node liveness and processing speed observations).
+// (§4.9: node liveness and processing speed observations). It predates
+// HealthReport; new coordinators fold Failed entries into the health
+// aggregator as suspicion evidence, so old frontends keep interoperating.
 type ReportReq struct {
 	Speeds map[int]float64 `json:"speeds,omitempty"` // node id -> fraction/s
 	Failed []int           `json:"failed,omitempty"`
+}
+
+// NodeHealth is one frontend's observations of one node since its last
+// report. Counters are deltas, so the membership aggregator can sum
+// them across frontends without double counting.
+type NodeHealth struct {
+	ID int `json:"id"`
+	// Suspicions counts healthy/recovering -> suspected transitions
+	// (sub-query timeouts or transport errors).
+	Suspicions int `json:"suspicions,omitempty"`
+	// ProbeOKs / ProbeFails count background recovery-probe outcomes.
+	ProbeOKs   int `json:"probe_oks,omitempty"`
+	ProbeFails int `json:"probe_fails,omitempty"`
+	// Contacts counts successful sub-query completions.
+	Contacts int `json:"contacts,omitempty"`
+	// QueueDepth is the node's last self-reported queue depth.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// Speed is the frontend's EWMA speed estimate (fraction/s; 0 =
+	// no observation yet).
+	Speed float64 `json:"speed,omitempty"`
+}
+
+// HealthReport is the periodic per-frontend health push (MMemberHealth):
+// everything the membership aggregator needs to fold this frontend's
+// view of the cluster into per-node failure-evidence scores.
+type HealthReport struct {
+	// FE identifies the reporting frontend (its listen address, or any
+	// stable name) so the aggregator can track report continuity.
+	FE string `json:"fe,omitempty"`
+	// Seq increases by one per report from this frontend.
+	Seq uint64 `json:"seq"`
+	// Shed counts queries this frontend rejected at admission due to
+	// overload since its last report.
+	Shed int `json:"shed,omitempty"`
+	// Nodes carries the per-node observation deltas.
+	Nodes []NodeHealth `json:"nodes,omitempty"`
+}
+
+// HealthResp acknowledges a health report with the aggregator's current
+// verdict, closing the loop: a frontend seeing an Epoch ahead of its
+// installed view should re-pull the view immediately instead of waiting
+// for its poll timer.
+type HealthResp struct {
+	Epoch int `json:"epoch"`
+	// Quarantined lists the node ids currently demoted from scheduling.
+	Quarantined []int `json:"quarantined,omitempty"`
 }

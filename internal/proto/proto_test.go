@@ -90,22 +90,31 @@ func TestNodeDataMessages(t *testing.T) {
 }
 
 func TestMembershipMessages(t *testing.T) {
-	roundTrip(t, NodeInfo{ID: 3, Ring: 1, Start: 0.75, Addr: "127.0.0.1:9999"})
+	roundTrip(t, NodeInfo{ID: 3, Ring: 1, Start: 0.75, Addr: "127.0.0.1:9999", Quarantined: true})
 	roundTrip(t, JoinReq{Addr: "127.0.0.1:1", SpeedHint: 2.5})
 	roundTrip(t, JoinResp{ID: 8, Ring: 0, Start: 0.5})
 	roundTrip(t, LeaveReq{ID: 8})
 	roundTrip(t, SetPReq{P: 6})
 	roundTrip(t, ReportReq{Speeds: map[int]float64{1: 0.5, 2: 1.5}, Failed: []int{3}})
+	roundTrip(t, HealthReport{
+		FE: "fe-0", Seq: 3, Shed: 2,
+		Nodes: []NodeHealth{{ID: 1, Suspicions: 1, ProbeOKs: 2, ProbeFails: 3, Contacts: 4, QueueDepth: 5, Speed: 1.5}},
+	})
+	roundTrip(t, HealthResp{Epoch: 9, Quarantined: []int{1, 4}})
 }
 
 func TestViewAndTuning(t *testing.T) {
 	roundTrip(t, Tuning{
 		PoolSize: 4, MaxInFlight: 64, DispatchWorkers: 128,
-		QueueTimeoutNanos:  int64(2 * time.Second),
-		NodeMaxOutstanding: 8,
-		HedgeDelayNanos:    int64(50 * time.Millisecond),
-		HedgeQuantile:      0.95,
-		ProbeIntervalNanos: int64(time.Second),
+		QueueTimeoutNanos:   int64(2 * time.Second),
+		NodeMaxOutstanding:  8,
+		HedgeDelayNanos:     int64(50 * time.Millisecond),
+		HedgeQuantile:       0.95,
+		ProbeIntervalNanos:  int64(time.Second),
+		HedgeBudgetFraction: 0.05,
+		HedgeBudgetBurst:    4,
+		HedgeMaxPerQuery:    6,
+		ShedHighWater:       12,
 	})
 	roundTrip(t, View{
 		Epoch: 5, P: 3,
