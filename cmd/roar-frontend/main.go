@@ -99,12 +99,16 @@ func main() {
 	// failure/overload control loop. When the coordinator's reply names
 	// an epoch ahead of the installed view (a quarantine or recovery
 	// just published), the view is re-pulled immediately rather than
-	// waiting out the poll timer. A coordinator that predates
-	// member.health answers "unknown method" — only that answer selects
-	// the legacy speeds/failed fallback; transient transport errors
-	// re-credit the report's deltas and retry on the next tick.
+	// waiting out the poll timer. Two mixed-version downgrades, each
+	// selected only by its specific rejection: a coordinator that
+	// predates member.health answers "unknown method" (legacy
+	// speeds/failed reports), and one that predates the autoscale
+	// telemetry extension rejects the trailing extension block as
+	// trailing bytes (subsequent reports are stripped to the base
+	// format it decodes). Transient transport errors re-credit the
+	// report's deltas and retry on the next tick.
 	go func() {
-		legacy := false
+		legacy, stripExt := false, false
 		for range time.Tick(*healthIv) {
 			if legacy {
 				report := proto.ReportReq{Speeds: fe.SpeedEstimates(), Failed: fe.FailedNodes()}
@@ -112,11 +116,19 @@ func main() {
 				continue
 			}
 			rep := fe.HealthReport()
+			send := rep
+			if stripExt {
+				send = rep.StripExt()
+			}
 			var hr proto.HealthResp
-			if err := mcl.Call(context.Background(), proto.MMemberHealth, rep, &hr); err != nil {
-				if strings.Contains(err.Error(), "unknown method") {
+			if err := mcl.Call(context.Background(), proto.MMemberHealth, send, &hr); err != nil {
+				switch {
+				case strings.Contains(err.Error(), "unknown method"):
 					legacy = true
-				} else {
+				case !stripExt && strings.Contains(err.Error(), "trailing bytes after HealthReport"):
+					stripExt = true
+					fe.RestoreHealthReport(rep)
+				default:
 					fe.RestoreHealthReport(rep)
 				}
 				continue

@@ -9,9 +9,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"roar/internal/membership"
 	"roar/internal/proto"
@@ -28,6 +30,17 @@ func main() {
 		qThresh  = flag.Float64("quarantine-threshold", 0, "failure-evidence score that quarantines a node (0 = default 3)")
 		qRecover = flag.Float64("quarantine-recover", 0, "score at which a quarantined node is re-admitted (default 0)")
 		qMaxFrac = flag.Float64("quarantine-max-fraction", 0, "refuse to quarantine beyond this fraction of nodes (0 = default 0.5)")
+
+		autoscale  = flag.Bool("autoscale", false, "run the elasticity controller (auto ChangeP / ring power / decommission)")
+		asDryRun   = flag.Bool("autoscale-dry-run", false, "log autoscale decisions without acting on them")
+		asInterval = flag.Duration("autoscale-interval", 0, "controller evaluation cadence (0 = default 5s)")
+		asHigh     = flag.Float64("autoscale-high", 0, "fleet pressure that triggers scale-up (0 = default 1.0)")
+		asLow      = flag.Float64("autoscale-low", 0, "fleet pressure that triggers scale-down (0 = default 0.25)")
+		asSustain  = flag.Int("autoscale-sustain", 0, "consecutive ticks over/under threshold before acting (0 = default 3)")
+		asCooldown = flag.Duration("autoscale-cooldown", 0, "minimum time between reconfigurations (0 = default 1m)")
+		asMinP     = flag.Int("autoscale-min-p", 0, "floor for emergency p-down steps (0 = default 1)")
+		asCostGate = flag.Float64("autoscale-cost-gate", 0, "refuse a p step moving more than this many corpus copies (0 = default 1.0)")
+		qDeadline  = flag.Duration("quarantine-deadline", 0, "auto-decommission a node quarantined longer than this (0 = off)")
 	)
 	flag.Parse()
 
@@ -43,6 +56,32 @@ func main() {
 		fatal(err)
 	}
 	defer coord.Close()
+
+	if *autoscale || *asDryRun {
+		as := coord.NewAutoscaler(membership.AutoscaleConfig{
+			DryRun:             *asDryRun,
+			Interval:           *asInterval,
+			HighPressure:       *asHigh,
+			LowPressure:        *asLow,
+			SustainTicks:       *asSustain,
+			Cooldown:           *asCooldown,
+			MinP:               *asMinP,
+			CostGateFraction:   *asCostGate,
+			QuarantineDeadline: *qDeadline,
+			Logf:               log.Printf,
+		})
+		as.Start()
+		defer as.Stop()
+		mode := "active"
+		if *asDryRun {
+			mode = "dry-run"
+		}
+		iv := *asInterval
+		if iv <= 0 {
+			iv = 5 * time.Second
+		}
+		log.Printf("autoscale controller started (%s, interval %v)", mode, iv)
+	}
 
 	d := wire.NewDispatcher()
 	d.Register(proto.MMemberJoin, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {

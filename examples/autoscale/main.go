@@ -1,0 +1,186 @@
+// Autonomic elasticity (§4.5 + §4.9.1 + §6.3 as one closed loop): the
+// controller consumes the telemetry frontends already push in their
+// health reports — shed counts per priority, admission-queue waits,
+// hedge-budget denials, per-node latency digests — and issues the
+// reconfiguration calls an operator would otherwise type by hand.
+//
+// The walkthrough stages a day in the cluster's life:
+//
+//  1. a load surge sheds low-priority queries until the controller
+//     powers the standby ring up (watch the shed rate collapse);
+//  2. the surge passes and the controller powers the ring back down;
+//  3. a node dies, the health loop quarantines it, and once it has been
+//     dark past the deadline the controller decommissions it outright.
+//
+// A dry-run controller runs alongside the active one to show the
+// operator-facing mode: identical decisions, no mutations.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"roar/internal/cluster"
+	"roar/internal/frontend"
+	"roar/internal/membership"
+	"roar/internal/pps"
+)
+
+func main() {
+	const (
+		nodes   = 8
+		workers = 20
+	)
+	c, err := cluster.Start(cluster.Options{
+		Nodes:          nodes,
+		Rings:          2, // the second ring is the elastic standby
+		P:              2,
+		Seed:           7,
+		FixedQueryCost: 4 * time.Millisecond,
+		Frontend: frontend.Config{
+			Name:            "fe-0",
+			SubQueryTimeout: 150 * time.Millisecond,
+			ProbeInterval:   25 * time.Millisecond,
+			ShedHighWater:   5, // mean reported queue depth → overload
+		},
+		Health: membership.HealthConfig{QuarantineThreshold: 2},
+		Autoscale: &membership.AutoscaleConfig{
+			ShedRef:            1, // a single shed per tick is full pressure
+			DepthRef:           1000,
+			SustainTicks:       2,
+			Cooldown:           time.Second,
+			QuarantineDeadline: 2 * time.Second,
+			Logf:               log.Printf,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	docs, err := c.GenerateCorpus(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := c.Enc.EncryptQuery(pps.And,
+		pps.Predicate{Kind: pps.Keyword, Word: docs[0].Keywords[0]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The dry-run twin: same telemetry, no authority. Its log lines are
+	// what an operator would review before enabling -autoscale for real.
+	shadow := c.Coord.NewAutoscaler(membership.AutoscaleConfig{
+		DryRun: true, ShedRef: 1, DepthRef: 1000, SustainTicks: 2,
+		Cooldown: time.Second, QuarantineDeadline: 2 * time.Second,
+		Logf: log.Printf,
+	})
+
+	// Night configuration: standby ring dark.
+	if err := c.SetRingEnabled(ctx, 1, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("standby ring powered down: %d of %d nodes serving\n\n",
+		len(c.FE.View().Nodes), nodes)
+
+	// Morning surge: closed-loop load, PriorityLow probes measuring the
+	// shed rate each control tick.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := c.FE.Execute(ctx, q); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	tick := func(phase string) []membership.AutoscaleDecision {
+		shed := 0
+		for i := 0; i < 4; i++ {
+			if _, err := c.FE.ExecuteOpts(ctx, q, frontend.ExecOptions{Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
+				shed++
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		c.PumpHealth()
+		shadow.Step(ctx)
+		ds, err := c.StepAutoscale(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s sheds %d/4, %d nodes serving\n", phase, shed, len(c.FE.View().Nodes))
+		return ds
+	}
+
+	fmt.Println("-- surge: controller under sustained shed pressure --")
+	for i := 0; i < 8; i++ {
+		ds := tick(fmt.Sprintf("surge tick %d:", i))
+		if len(ds) > 0 && ds[0].Action == membership.ActionRingUp {
+			break
+		}
+	}
+	fmt.Println()
+	time.Sleep(150 * time.Millisecond)
+	shedAfter := 0
+	for i := 0; i < 8; i++ {
+		if _, err := c.FE.ExecuteOpts(ctx, q, frontend.ExecOptions{Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
+			shedAfter++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("after ring-up: sheds %d/8 at the same offered load\n\n", shedAfter)
+
+	// The surge passes.
+	close(stop)
+	wg.Wait()
+	fmt.Println("-- load gone: controller gives the capacity back --")
+	for i := 0; i < 4; i++ {
+		time.Sleep(300 * time.Millisecond) // clear the 1s cooldown
+		ds := tick(fmt.Sprintf("quiet tick %d:", i))
+		if len(ds) > 0 && ds[0].Action == membership.ActionRingDown {
+			break
+		}
+	}
+	fmt.Println()
+
+	// A node dies; the health loop quarantines it, and past the
+	// deadline the controller retires it for good.
+	fmt.Println("-- node death: quarantine, then deadline decommission --")
+	if err := c.KillNode(0); err != nil {
+		log.Fatal(err)
+	}
+	for len(c.Coord.Quarantined()) == 0 {
+		if _, err := c.FE.Execute(ctx, q); err != nil {
+			log.Fatalf("query during failure: %v", err)
+		}
+		c.PumpHealth()
+	}
+	fmt.Printf("quarantined: nodes %v (data retained, scheduling demoted)\n", c.Coord.Quarantined())
+	time.Sleep(2500 * time.Millisecond) // sit out the 2s deadline
+	c.PumpHealth()
+	shadow.Step(ctx)
+	if _, err := c.StepAutoscale(ctx); err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.FE.Execute(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after decommission: %d nodes serving, query still returns %d matches\n",
+		len(c.FE.View().Nodes), len(res.IDs))
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawBenchOutput = `goos: linux
+goarch: amd64
+pkg: roar/internal/bench
+BenchmarkFrontendThroughput/serial-1conn-8         	       1	1846023145 ns/op	       539.0 queries/s
+BenchmarkFrontendThroughput/pipelined-pool4-8      	       1	 432164193 ns/op	      2315 queries/s
+BenchmarkReconfigUnderLoad-8                       	       1	 957660390 ns/op	        34.21 p99-ms	      1166 queries/s
+PASS
+`
+
+// jsonBenchOutput mirrors the real `go test -json -bench` stream: the
+// benchmark name arrives in the event's Test field while the Output
+// line holds only the measurements (plus one raw-style line for the
+// inline-name variant).
+const jsonBenchOutput = `{"Action":"start","Package":"roar/internal/pps"}
+{"Action":"output","Package":"roar/internal/pps","Test":"BenchmarkMatchKernel/kernel","Output":"=== RUN   BenchmarkMatchKernel/kernel\n"}
+{"Action":"output","Package":"roar/internal/pps","Test":"BenchmarkMatchKernel/kernel","Output":"     100\t      1556 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"roar/internal/pps","Test":"BenchmarkMatchKernel/kernel","Output":"     100\t      1444 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"roar/internal/pps","Output":"BenchmarkMatchKernel/legacy-8 \t     100\t      3707 ns/op\t    2534 B/op\t      29 allocs/op\n"}
+{"Action":"output","Package":"roar/internal/pps","Output":"ok  \troar/internal/pps\t1.2s\n"}
+{"Action":"pass","Package":"roar/internal/pps"}
+`
+
+func TestParseBenchOutputRawAndJSON(t *testing.T) {
+	res, err := ParseBenchOutput(strings.NewReader(rawBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkFrontendThroughput/pipelined-pool4"]["queries/s"]; got != 2315 {
+		t.Fatalf("pipelined queries/s = %v, want 2315 (results %v)", got, res)
+	}
+	if got := res["BenchmarkReconfigUnderLoad"]["p99-ms"]; got != 34.21 {
+		t.Fatalf("reconfig p99-ms = %v", got)
+	}
+
+	res, err = ParseBenchOutput(strings.NewReader(jsonBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two result lines for the same benchmark average.
+	if got := res["BenchmarkMatchKernel/kernel"]["ns/op"]; got != 1500 {
+		t.Fatalf("kernel ns/op mean = %v, want 1500", got)
+	}
+	if got := res["BenchmarkMatchKernel/kernel"]["allocs/op"]; got != 0 {
+		t.Fatalf("kernel allocs/op = %v, want 0", got)
+	}
+	if got := res["BenchmarkMatchKernel/legacy"]["allocs/op"]; got != 29 {
+		t.Fatalf("legacy (inline-name) allocs/op = %v, want 29", got)
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	base := GateBaseline{
+		Threshold: 0.25,
+		Metrics: []GateMetric{
+			{Bench: "BenchQPS", Unit: "queries/s", HigherBetter: true, Value: 1000},
+			{Bench: "BenchLat", Unit: "p99-ms", Value: 40},
+			{Bench: "BenchAllocs", Unit: "allocs/op", Value: 0},
+		},
+	}
+	ok := BenchResults{
+		"BenchQPS":    {"queries/s": 800}, // -20%: inside the budget
+		"BenchLat":    {"p99-ms": 49},     // +22.5%: inside
+		"BenchAllocs": {"allocs/op": 0},
+	}
+	if fails := CheckRegressions(base, ok); len(fails) != 0 {
+		t.Fatalf("within-budget results failed the gate: %v", fails)
+	}
+
+	bad := BenchResults{
+		"BenchQPS":    {"queries/s": 700}, // -30%: regression
+		"BenchLat":    {"p99-ms": 55},     // +37.5%: regression
+		"BenchAllocs": {"allocs/op": 2},   // any alloc growth from zero fails
+	}
+	fails := CheckRegressions(base, bad)
+	if len(fails) != 3 {
+		t.Fatalf("got %d failures, want 3: %v", len(fails), fails)
+	}
+
+	// A tracked metric vanishing from the results is itself a failure.
+	fails = CheckRegressions(base, BenchResults{"BenchQPS": {"queries/s": 1000}})
+	if len(fails) != 2 {
+		t.Fatalf("missing metrics: got %v", fails)
+	}
+}
+
+func TestBuildBaselineRejectsHoles(t *testing.T) {
+	tracked := []GateMetric{
+		{Bench: "BenchQPS", Unit: "queries/s", HigherBetter: true},
+		{Bench: "BenchGone", Unit: "ns/op"},
+	}
+	_, err := BuildBaseline(tracked, BenchResults{"BenchQPS": {"queries/s": 1234}}, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "BenchGone") {
+		t.Fatalf("baseline built over a hole: %v", err)
+	}
+	base, err := BuildBaseline(tracked[:1], BenchResults{"BenchQPS": {"queries/s": 1234}}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics[0].Value != 1234 {
+		t.Fatalf("baseline value = %v", base.Metrics[0].Value)
+	}
+}

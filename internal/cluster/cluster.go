@@ -49,6 +49,10 @@ type Options struct {
 	// Health tunes the coordinator's failure/overload control loop
 	// (quarantine thresholds); zero values use the defaults.
 	Health membership.HealthConfig
+	// Autoscale, when set, attaches an elasticity controller to the
+	// coordinator (not started: tests drive it with StepAutoscale for
+	// determinism; call Cluster.AS.Start for the background loop).
+	Autoscale *membership.AutoscaleConfig
 	// Encoder overrides the PPS encoding (zero value = slim test
 	// encoding; use pps.EncoderConfig{} semantics via FullEncoding).
 	Encoder *pps.EncoderConfig
@@ -63,6 +67,9 @@ type Cluster struct {
 	Enc   *pps.Encoder
 	Coord *membership.Coordinator
 	FE    *frontend.Frontend
+	// AS is the attached elasticity controller (nil unless
+	// Options.Autoscale was set).
+	AS *membership.Autoscaler
 
 	nodes    []*node.Node
 	servers  []*wire.Server
@@ -149,7 +156,40 @@ func Start(opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	if opts.Autoscale != nil {
+		c.AS = coord.NewAutoscaler(*opts.Autoscale)
+	}
 	return c, nil
+}
+
+// StepAutoscale runs one elasticity-controller evaluation and, when it
+// actually reconfigured something, pushes the fresh view to every
+// frontend — the harness equivalent of the frontends' epoch-triggered
+// re-pull. Dry-run decisions, refusals ("hold"), and failed executions
+// mutate nothing, so they trigger no view push.
+func (c *Cluster) StepAutoscale(ctx context.Context) ([]membership.AutoscaleDecision, error) {
+	if c.AS == nil {
+		return nil, fmt.Errorf("cluster: no autoscaler attached (Options.Autoscale)")
+	}
+	ds := c.AS.Step(ctx)
+	for _, d := range ds {
+		if d.Action != membership.ActionHold && !d.DryRun && d.Err == "" {
+			if err := c.SyncView(); err != nil {
+				return ds, err
+			}
+			break
+		}
+	}
+	return ds, nil
+}
+
+// SetRingEnabled powers a ring on or off through the coordinator and
+// re-syncs every frontend's view.
+func (c *Cluster) SetRingEnabled(ctx context.Context, ring int, enabled bool) error {
+	if err := c.Coord.SetRingEnabled(ctx, ring, enabled); err != nil {
+		return err
+	}
+	return c.SyncView()
 }
 
 // SyncView pushes the coordinator's current view to every frontend.
@@ -198,6 +238,9 @@ func (c *Cluster) PumpHealth(fes ...*frontend.Frontend) proto.HealthResp {
 
 // Close tears everything down.
 func (c *Cluster) Close() {
+	if c.AS != nil {
+		c.AS.Stop()
+	}
 	for _, fe := range c.extraFEs {
 		fe.Close()
 	}

@@ -179,7 +179,10 @@ type Frontend struct {
 	nodeLat map[ring.NodeID]*latTracker
 
 	budget    *hedgeBudget  // hedge rate limit; nil = un-budgeted (guarded by f.mu)
-	shed      atomic.Int64  // queries shed since the last health report
+	shed      atomic.Int64  // PriorityLow queries shed since the last health report
+	shedNorm  atomic.Int64  // queries rejected on admission-queue timeout since the last report
+	hdgDenied atomic.Int64  // hedges denied (budget/cap/overload) since the last report
+	queueLat  latTracker    // admission-queue waits of admitted queries (report digest)
 	reportSeq atomic.Uint64 // health report sequence numbers
 
 	stop      chan struct{} // stops the background prober
@@ -399,16 +402,18 @@ func (f *Frontend) ApplyView(v proto.View) error {
 			// suspicion, and retune the mutable transport state.
 			h.mu.Lock()
 			if h.client.PoolSize() != tune.poolSize {
-				// Swap in the rebuilt pool but drain the old client
-				// gracefully: closing it now would error every in-flight
-				// sub-query and spuriously suspect healthy retained
-				// nodes on a pure config change.
+				// Swap in the rebuilt pool and drain the old client
+				// gracefully: in-flight calls on the old pool run to
+				// completion (bounded by the sub-query timeout) instead
+				// of failing over through the retry path, and the old
+				// sockets close as soon as the last call finishes. A
+				// sender that snapshotted the old client but had not
+				// called yet sees ErrClosed and retries on the new pool
+				// (sendSub), so a pure config change never produces
+				// failure evidence.
 				old := h.client
 				h.client = wire.NewClientWithConfig(ni.Addr, wire.ClientConfig{PoolSize: tune.poolSize})
-				go func() {
-					time.Sleep(f.cfg.SubQueryTimeout)
-					old.Close()
-				}()
+				go old.DrainClose(f.cfg.SubQueryTimeout)
 			}
 			if cap(h.credits) != tune.nodeMaxOutstanding {
 				// In-flight senders release onto the channel they
@@ -554,10 +559,12 @@ func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOption
 		case <-ctx.Done():
 			return Result{}, ctx.Err()
 		case <-timeout:
+			f.shedNorm.Add(1)
 			return Result{}, ErrOverloaded
 		}
 	}
 	queueDur := time.Since(t0)
+	f.queueLat.observe(queueDur)
 
 	tSched := time.Now()
 	f.mu.RLock()
@@ -627,6 +634,9 @@ func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOption
 		HedgesDenied: agg.hedgesDenied,
 		HedgeWins:    agg.hedgeWins,
 		Scanned:      agg.scanned,
+	}
+	if out.HedgesDenied > 0 {
+		f.hdgDenied.Add(int64(out.HedgesDenied))
 	}
 	// Record the phase breakdown before the error check: failed queries
 	// are exactly the ones whose delay anatomy the breakdown must not
@@ -786,7 +796,6 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 		return proto.QueryResp{}, fmt.Errorf("frontend: no handle for node %d", sub.Node)
 	}
 	h.mu.Lock()
-	cl := h.client
 	credits := h.credits
 	h.mu.Unlock()
 	if credits != nil {
@@ -823,8 +832,18 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
 	start := time.Now()
 	var resp proto.QueryResp
-	if err := cl.Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
-		return proto.QueryResp{}, err
+	// Snapshot the client only now, after the (possibly long) credit and
+	// worker waits: a view-driven pool retune may have swapped it while
+	// we queued. If the snapshot still loses the race — the old pool
+	// began draining between the read and the call — ErrClosed names
+	// exactly that case, and one re-read picks up the replacement pool.
+	if err := h.wireClient().Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
+		if !errors.Is(err, wire.ErrClosed) {
+			return proto.QueryResp{}, err
+		}
+		if err := h.wireClient().Call(cctx, proto.MNodeQuery, req, &resp); err != nil {
+			return proto.QueryResp{}, err
+		}
 	}
 	// Successful contact: record health, the node's queue depth, the
 	// latency sample for the adaptive hedge delay, and the speed

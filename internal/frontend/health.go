@@ -241,11 +241,23 @@ func (f *Frontend) Health() map[int]string {
 // HealthReport snapshots this frontend's observation deltas for the
 // membership health aggregator and resets the counters, so consecutive
 // reports carry disjoint evidence. Entries are sorted by node id.
+//
+// Beyond the failure evidence, the report carries the autoscale
+// telemetry the membership elasticity controller consumes: shed counts
+// per priority class (Shed = sheddable-low, ShedNormal = queue-timeout
+// rejections), hedge-budget denials, an admission-queue wait digest,
+// and per-node latency digests drawn from the same rolling histories
+// the adaptive hedge delay uses. Counter fields are deltas; digest
+// fields are gauges over the rolling window.
 func (f *Frontend) HealthReport() proto.HealthReport {
 	rep := proto.HealthReport{
-		FE:   f.cfg.Name,
-		Seq:  f.reportSeq.Add(1),
-		Shed: int(f.shed.Swap(0)),
+		FE:            f.cfg.Name,
+		Seq:           f.reportSeq.Add(1),
+		Shed:          int(f.shed.Swap(0)),
+		ShedNormal:    int(f.shedNorm.Swap(0)),
+		HedgesDenied:  int(f.hdgDenied.Swap(0)),
+		QueueP50Nanos: f.queueLat.quantile(0.50).Nanoseconds(),
+		QueueP99Nanos: f.queueLat.quantile(0.99).Nanoseconds(),
 	}
 	f.mu.RLock()
 	handles := make([]*handle, 0, len(f.nodes))
@@ -268,6 +280,10 @@ func (f *Frontend) HealthReport() proto.HealthReport {
 		if v, ok := h.speed.Value(); ok {
 			nh.Speed = v
 		}
+		if nl := f.nodeTracker(h.id); nl != nil {
+			nh.LatP50Nanos = nl.quantile(0.50).Nanoseconds()
+			nh.LatP99Nanos = nl.quantile(0.99).Nanoseconds()
+		}
 		rep.Nodes = append(rep.Nodes, nh)
 	}
 	sort.Slice(rep.Nodes, func(a, b int) bool { return rep.Nodes[a].ID < rep.Nodes[b].ID })
@@ -283,6 +299,8 @@ func (f *Frontend) HealthReport() proto.HealthReport {
 // tolerates gaps.
 func (f *Frontend) RestoreHealthReport(rep proto.HealthReport) {
 	f.shed.Add(int64(rep.Shed))
+	f.shedNorm.Add(int64(rep.ShedNormal))
+	f.hdgDenied.Add(int64(rep.HedgesDenied))
 	f.mu.RLock()
 	handles := make(map[int]*handle, len(f.nodes))
 	for id, h := range f.nodes {

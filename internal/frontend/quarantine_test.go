@@ -169,3 +169,64 @@ func TestHealthReportCountersDelta(t *testing.T) {
 	}
 	_ = nodes
 }
+
+// TestHealthReportAutoscaleTelemetry pins the autoscale extension's
+// delta/gauge semantics: shed-by-priority and hedge-denial counters
+// reset per report and are re-credited on restore; the queue-wait and
+// per-node latency digests are rolling gauges.
+func TestHealthReportAutoscaleTelemetry(t *testing.T) {
+	enc := slimEncoder()
+	v, nodes := testView(t, enc, 2, 1)
+	loadAll(t, nodes, enc, []string{"aa"})
+	fe := New(Config{Name: "fe-test", ProbeInterval: -1})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	fe.shedNorm.Add(3)
+	fe.hdgDenied.Add(7)
+	// Warm the queue-wait and one node's latency tracker past the
+	// quantile floor.
+	for i := 0; i < latWarmup; i++ {
+		fe.queueLat.observe(2 * time.Millisecond)
+		fe.observeLatency(ring.NodeID(0), 5*time.Millisecond)
+	}
+
+	rep := fe.HealthReport()
+	if rep.ShedNormal != 3 || rep.HedgesDenied != 7 {
+		t.Fatalf("extension counters = %d/%d, want 3/7", rep.ShedNormal, rep.HedgesDenied)
+	}
+	if rep.QueueP50Nanos <= 0 || rep.QueueP99Nanos < rep.QueueP50Nanos {
+		t.Fatalf("queue digest broken: p50=%d p99=%d", rep.QueueP50Nanos, rep.QueueP99Nanos)
+	}
+	var lat0 int64
+	for _, nh := range rep.Nodes {
+		if nh.ID == 0 {
+			lat0 = nh.LatP99Nanos
+		} else if nh.LatP99Nanos != 0 {
+			t.Fatalf("cold node %d grew a latency digest: %d", nh.ID, nh.LatP99Nanos)
+		}
+	}
+	if lat0 <= 0 {
+		t.Fatalf("warmed node's latency digest missing: %+v", rep.Nodes)
+	}
+	if !rep.HasExt() {
+		t.Fatal("report with telemetry does not claim the extension")
+	}
+
+	// Counters are deltas; digests are gauges.
+	rep2 := fe.HealthReport()
+	if rep2.ShedNormal != 0 || rep2.HedgesDenied != 0 {
+		t.Fatalf("extension counters did not reset: %+v", rep2)
+	}
+	if rep2.QueueP99Nanos == 0 {
+		t.Fatal("queue-wait gauge reset with the counters")
+	}
+
+	// A failed delivery re-credits the counter deltas.
+	fe.RestoreHealthReport(rep)
+	rep3 := fe.HealthReport()
+	if rep3.ShedNormal != 3 || rep3.HedgesDenied != 7 {
+		t.Fatalf("restore lost extension counters: %+v", rep3)
+	}
+}

@@ -18,6 +18,7 @@ package membership
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"roar/internal/proto"
 	"roar/internal/ring"
@@ -48,6 +49,10 @@ type HealthConfig struct {
 	// quarantining everyone would turn congestion into an outage).
 	// Default 0.5.
 	MaxQuarantineFraction float64
+	// Now injects the clock used to stamp quarantine entry times (the
+	// autoscaler's quarantine-deadline decommission measures against
+	// these). Tests override; nil means time.Now.
+	Now func() time.Time
 }
 
 func (hc HealthConfig) withDefaults() HealthConfig {
@@ -66,6 +71,9 @@ func (hc HealthConfig) withDefaults() HealthConfig {
 	if hc.MaxQuarantineFraction <= 0 {
 		hc.MaxQuarantineFraction = 0.5
 	}
+	if hc.Now == nil {
+		hc.Now = time.Now
+	}
 	return hc
 }
 
@@ -75,17 +83,36 @@ type healthState struct {
 	mu          sync.Mutex
 	cfg         HealthConfig
 	scores      map[ring.NodeID]float64
-	quarantined map[ring.NodeID]bool
-	feSeq       map[string]uint64 // per-frontend last report seq
-	shedTotal   int64             // cumulative shed admissions fleet-wide
+	quarantined map[ring.NodeID]time.Time // node -> quarantine entry time
+	feSeq       map[string]uint64         // per-frontend last report seq
+	shedTotal   int64                     // cumulative PriorityLow sheds fleet-wide
+
+	// Autoscale telemetry (the extension fields of HealthReport):
+	// cumulative counters the controller differentiates per tick, plus
+	// latest-value gauges.
+	shedNormalTotal  int64                     // queue-timeout rejections fleet-wide
+	hedgeDeniedTotal int64                     // hedge-budget denials fleet-wide
+	queueWaitP99     map[string]int64          // per-frontend admission-wait p99 gauge (ns)
+	queueWaitAt      map[string]time.Time      // when each frontend's gauge last refreshed
+	depths           map[ring.NodeID]int       // last reported queue depth per node
+	latP99           map[ring.NodeID]int64     // last reported latency p99 per node (ns)
 }
+
+// feGaugeStaleness expires a frontend's queue-wait gauge when it stops
+// reporting (crashed or decommissioned FE): a last-writer-wins gauge
+// with no owner would hold its final value forever and bias pressure.
+const feGaugeStaleness = time.Minute
 
 func newHealthState(cfg HealthConfig) *healthState {
 	return &healthState{
-		cfg:         cfg.withDefaults(),
-		scores:      map[ring.NodeID]float64{},
-		quarantined: map[ring.NodeID]bool{},
-		feSeq:       map[string]uint64{},
+		cfg:          cfg.withDefaults(),
+		scores:       map[ring.NodeID]float64{},
+		quarantined:  map[ring.NodeID]time.Time{},
+		feSeq:        map[string]uint64{},
+		queueWaitP99: map[string]int64{},
+		queueWaitAt:  map[string]time.Time{},
+		depths:       map[ring.NodeID]int{},
+		latP99:       map[ring.NodeID]int64{},
 	}
 }
 
@@ -101,14 +128,15 @@ func (h *healthState) adjustLocked(id ring.NodeID, delta float64, total int) (fl
 		s = h.cfg.ScoreCap
 	}
 	h.scores[id] = s
+	_, inQ := h.quarantined[id]
 	switch {
-	case !h.quarantined[id] && s >= h.cfg.QuarantineThreshold:
+	case !inQ && s >= h.cfg.QuarantineThreshold:
 		if float64(len(h.quarantined)+1) > h.cfg.MaxQuarantineFraction*float64(total) {
 			return false // refuse: too much of the cluster already demoted
 		}
-		h.quarantined[id] = true
+		h.quarantined[id] = h.cfg.Now()
 		return true
-	case h.quarantined[id] && s <= h.cfg.RecoverThreshold:
+	case inQ && s <= h.cfg.RecoverThreshold:
 		delete(h.quarantined, id)
 		return true
 	}
@@ -119,6 +147,8 @@ func (h *healthState) forget(id ring.NodeID) {
 	h.mu.Lock()
 	delete(h.scores, id)
 	delete(h.quarantined, id)
+	delete(h.depths, id)
+	delete(h.latP99, id)
 	h.mu.Unlock()
 }
 
@@ -160,6 +190,12 @@ func (c *Coordinator) ReportHealth(rep proto.HealthReport) proto.HealthResp {
 		h.feSeq[rep.FE] = rep.Seq
 	}
 	h.shedTotal += int64(rep.Shed)
+	h.shedNormalTotal += int64(rep.ShedNormal)
+	h.hedgeDeniedTotal += int64(rep.HedgesDenied)
+	if rep.FE != "" {
+		h.queueWaitP99[rep.FE] = rep.QueueP99Nanos
+		h.queueWaitAt[rep.FE] = h.cfg.Now()
+	}
 	var flips int
 	speeds := map[ring.NodeID]float64{}
 	for _, nh := range rep.Nodes {
@@ -169,6 +205,10 @@ func (c *Coordinator) ReportHealth(rep proto.HealthReport) proto.HealthResp {
 		}
 		if nh.Speed > 0 {
 			speeds[id] = nh.Speed
+		}
+		h.depths[id] = nh.QueueDepth
+		if nh.LatP99Nanos > 0 {
+			h.latP99[id] = nh.LatP99Nanos
 		}
 		bad := float64(nh.Suspicions) + 0.5*float64(nh.ProbeFails)
 		good := 0.5 * float64(nh.ProbeOKs)
@@ -250,6 +290,95 @@ func (c *Coordinator) ShedTotal() int64 {
 	c.health.mu.Lock()
 	defer c.health.mu.Unlock()
 	return c.health.shedTotal
+}
+
+// QuarantineInfo names one quarantined node and when it entered
+// quarantine.
+type QuarantineInfo struct {
+	ID    ring.NodeID
+	Since time.Time
+}
+
+// FleetPressure is the aggregator's capacity-planning snapshot: the
+// cumulative overload counters the elasticity controller differentiates
+// per tick, plus the latest load gauges. Counters only ever grow (until
+// coordinator restart); gauges are last-writer-wins per frontend/node.
+type FleetPressure struct {
+	ShedLow     int64 // cumulative PriorityLow sheds (ErrShed)
+	ShedNormal  int64 // cumulative queue-timeout rejections (ErrOverloaded)
+	HedgeDenied int64 // cumulative hedge-budget denials
+
+	MeanQueueDepth float64       // mean last-reported depth across schedulable members
+	QueueWaitP99   time.Duration // max admission-wait p99 across frontends
+	NodeLatP99     time.Duration // max per-node sub-query latency p99 digest
+
+	Quarantined []QuarantineInfo // sorted by node id
+}
+
+// FleetPressure snapshots the capacity-planning telemetry. The load
+// gauges (depth, latency) count only schedulable nodes — on an enabled
+// ring and not quarantined — because the others receive no traffic, so
+// their last-written gauge values are frozen history: a quarantined
+// node's final latency digest or a dark ring's idle depths would bias
+// pressure indefinitely. Per-frontend gauges expire when the frontend
+// stops reporting.
+func (c *Coordinator) FleetPressure() FleetPressure {
+	c.mu.Lock()
+	schedulable := make(map[ring.NodeID]bool, len(c.ringOf))
+	for id, k := range c.ringOf {
+		if !c.disabled[k] {
+			schedulable[id] = true
+		}
+	}
+	c.mu.Unlock()
+
+	h := c.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Now()
+	fp := FleetPressure{
+		ShedLow:     h.shedTotal,
+		ShedNormal:  h.shedNormalTotal,
+		HedgeDenied: h.hedgeDeniedTotal,
+	}
+	var depthSum, depthN int
+	for id, d := range h.depths {
+		if !schedulable[id] {
+			continue
+		}
+		if _, q := h.quarantined[id]; q {
+			continue
+		}
+		depthSum += d
+		depthN++
+	}
+	if depthN > 0 {
+		fp.MeanQueueDepth = float64(depthSum) / float64(depthN)
+	}
+	for fe, ns := range h.queueWaitP99 {
+		if now.Sub(h.queueWaitAt[fe]) > feGaugeStaleness {
+			continue
+		}
+		if d := time.Duration(ns); d > fp.QueueWaitP99 {
+			fp.QueueWaitP99 = d
+		}
+	}
+	for id, ns := range h.latP99 {
+		if !schedulable[id] {
+			continue
+		}
+		if _, q := h.quarantined[id]; q {
+			continue
+		}
+		if d := time.Duration(ns); d > fp.NodeLatP99 {
+			fp.NodeLatP99 = d
+		}
+	}
+	for id, since := range h.quarantined {
+		fp.Quarantined = append(fp.Quarantined, QuarantineInfo{ID: id, Since: since})
+	}
+	sort.Slice(fp.Quarantined, func(a, b int) bool { return fp.Quarantined[a].ID < fp.Quarantined[b].ID })
+	return fp
 }
 
 // Epoch returns the current view epoch.

@@ -128,9 +128,14 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 	n.queries.Add(1)
 	n.scanned.Add(int64(scanned))
 	n.busyNanos.Add(int64(el))
-	// Depth excludes this (finished) sub-query: it is the load a new
-	// arrival would queue behind.
-	depth := int(n.inflight.Load()) - 1
+	// Depth is sampled at ARRIVAL (cur was read when this sub-query
+	// entered), excluding the sub-query itself: the load it queued
+	// behind. Sampling at completion instead systematically reads ~0
+	// under closed-loop load — sub-queries admitted together finish
+	// together, so the last response of every wave sees a drained node
+	// and the frontends' last-writer-wins gauges sit at the trough of
+	// the sawtooth exactly when the node is saturated.
+	depth := int(cur) - 1
 	if depth < 0 {
 		depth = 0
 	}

@@ -346,7 +346,13 @@ func (p *PingResp) DecodeWire(data []byte) error {
 
 const nodeHealthMinBytes = 14
 
-// AppendWire implements wire.WireAppender.
+// AppendWire implements wire.WireAppender. The autoscale telemetry
+// (shed-by-priority, hedge denials, admission-queue digest, per-node
+// latency digests) rides a trailing extension block emitted only when
+// at least one extension field is non-zero: a report without extension
+// data is byte-identical to the pre-extension encoding, which is what
+// keeps mixed-version clusters working — StripExt produces exactly the
+// bytes an old coordinator's strict decoder accepts.
 func (h HealthReport) AppendWire(b []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(h.FE)))
 	b = append(b, h.FE...)
@@ -362,10 +368,34 @@ func (h HealthReport) AppendWire(b []byte) []byte {
 		b = appendZigzag(b, int64(nh.QueueDepth))
 		b = binary.BigEndian.AppendUint64(b, math.Float64bits(nh.Speed))
 	}
+	if !h.HasExt() {
+		return b
+	}
+	b = appendZigzag(b, int64(h.ShedNormal))
+	b = appendZigzag(b, int64(h.HedgesDenied))
+	b = appendZigzag(b, h.QueueP50Nanos)
+	b = appendZigzag(b, h.QueueP99Nanos)
+	digests := 0
+	for _, nh := range h.Nodes {
+		if nh.LatP50Nanos != 0 || nh.LatP99Nanos != 0 {
+			digests++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(digests))
+	for _, nh := range h.Nodes {
+		if nh.LatP50Nanos == 0 && nh.LatP99Nanos == 0 {
+			continue
+		}
+		b = appendZigzag(b, int64(nh.ID))
+		b = appendZigzag(b, nh.LatP50Nanos)
+		b = appendZigzag(b, nh.LatP99Nanos)
+	}
 	return b
 }
 
-// DecodeWire implements wire.WireDecoder.
+// DecodeWire implements wire.WireDecoder. Accepts both the base
+// encoding and the extended one: the extension block's presence is
+// signalled purely by trailing bytes after the base fields.
 func (h *HealthReport) DecodeWire(data []byte) error {
 	r := &reader{data: data}
 	h.FE = string(r.bytes("HealthReport.FE"))
@@ -385,6 +415,25 @@ func (h *HealthReport) DecodeWire(data []byte) error {
 			nh.QueueDepth = int(r.zigzag("NodeHealth.QueueDepth"))
 			nh.Speed = math.Float64frombits(r.u64("NodeHealth.Speed"))
 			h.Nodes = append(h.Nodes, nh)
+		}
+	}
+	h.ShedNormal, h.HedgesDenied, h.QueueP50Nanos, h.QueueP99Nanos = 0, 0, 0, 0
+	if r.err == nil && r.off < len(r.data) {
+		h.ShedNormal = int(r.zigzag("HealthReport.ShedNormal"))
+		h.HedgesDenied = int(r.zigzag("HealthReport.HedgesDenied"))
+		h.QueueP50Nanos = r.zigzag("HealthReport.QueueP50Nanos")
+		h.QueueP99Nanos = r.zigzag("HealthReport.QueueP99Nanos")
+		nd := r.count("HealthReport digests", 3)
+		for i := 0; i < nd && r.err == nil; i++ {
+			id := int(r.zigzag("NodeHealth digest id"))
+			p50 := r.zigzag("NodeHealth.LatP50Nanos")
+			p99 := r.zigzag("NodeHealth.LatP99Nanos")
+			for j := range h.Nodes {
+				if h.Nodes[j].ID == id {
+					h.Nodes[j].LatP50Nanos, h.Nodes[j].LatP99Nanos = p50, p99
+					break
+				}
+			}
 		}
 	}
 	return r.finish("HealthReport")

@@ -67,6 +67,15 @@ func TestBinaryCodecGoldenRoundTrip(t *testing.T) {
 			},
 		}, &HealthReport{}},
 		{"HealthReport/empty", HealthReport{}, &HealthReport{}},
+		{"HealthReport/ext", HealthReport{
+			FE: "fe-1", Seq: 8, Shed: 2, ShedNormal: 5, HedgesDenied: 17,
+			QueueP50Nanos: 1_500_000, QueueP99Nanos: 48_000_000,
+			Nodes: []NodeHealth{
+				{ID: 1, Contacts: 40, Speed: 2.5, LatP50Nanos: 900_000, LatP99Nanos: 22_000_000},
+				{ID: 2, Contacts: 12}, // no digest yet (tracker warming up)
+				{ID: 9, Suspicions: 1, LatP99Nanos: 140_000_000},
+			},
+		}, &HealthReport{}},
 		{"HealthResp", HealthResp{Epoch: 12, Quarantined: []int{3, 7, 41}}, &HealthResp{}},
 		{"HealthResp/empty", HealthResp{}, &HealthResp{}},
 	}
@@ -272,6 +281,60 @@ func FuzzDecodeQueryResp(f *testing.F) {
 	})
 }
 
+// TestHealthReportExtMixedVersion pins the mixed-version contract of
+// the autoscale extension:
+//
+//  1. a report with no extension data encodes byte-identically to the
+//     pre-extension format (old coordinators keep decoding it),
+//  2. StripExt of an extended report produces exactly that base form,
+//  3. the new decoder accepts base-format bytes and leaves every
+//     extension field zero,
+//  4. an extended report really does carry trailing bytes after the
+//     base fields — the signal an old strict decoder rejects, which is
+//     what tells a new frontend to fall back to StripExt.
+func TestHealthReportExtMixedVersion(t *testing.T) {
+	ext := HealthReport{
+		FE: "fe-0", Seq: 3, Shed: 4, ShedNormal: 2, HedgesDenied: 9,
+		QueueP50Nanos: 100, QueueP99Nanos: 900,
+		Nodes: []NodeHealth{
+			{ID: 5, Contacts: 7, QueueDepth: 2, Speed: 1.5, LatP50Nanos: 10, LatP99Nanos: 99},
+		},
+	}
+	base := ext.StripExt()
+	if base.HasExt() {
+		t.Fatal("StripExt left extension data behind")
+	}
+	if ext.Nodes[0].LatP50Nanos == 0 {
+		t.Fatal("StripExt mutated the original report's node slice")
+	}
+	baseBytes := base.AppendWire(nil)
+	extBytes := ext.AppendWire(nil)
+	if len(extBytes) <= len(baseBytes) {
+		t.Fatalf("extended encoding (%dB) not longer than base (%dB)", len(extBytes), len(baseBytes))
+	}
+	// The base prefix of the extended encoding IS the base encoding.
+	if string(extBytes[:len(baseBytes)]) != string(baseBytes) {
+		t.Fatal("extended encoding does not extend the base encoding byte-for-byte")
+	}
+	var got HealthReport
+	if err := got.DecodeWire(baseBytes); err != nil {
+		t.Fatalf("new decoder rejected base-format bytes: %v", err)
+	}
+	if got.HasExt() {
+		t.Fatalf("base-format decode invented extension data: %+v", got)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("base decode diverged:\n got %+v\nwant %+v", got, base)
+	}
+	var got2 HealthReport
+	if err := got2.DecodeWire(extBytes); err != nil {
+		t.Fatalf("extended decode: %v", err)
+	}
+	if !reflect.DeepEqual(got2, ext) {
+		t.Fatalf("extended decode diverged:\n got %+v\nwant %+v", got2, ext)
+	}
+}
+
 // FuzzDecodeHealthReport: truncated/corrupt health pushes must error or
 // decode, never panic or over-allocate; valid decodes must re-encode to
 // a decodable body.
@@ -279,6 +342,10 @@ func FuzzDecodeHealthReport(f *testing.F) {
 	f.Add(HealthReport{
 		FE: "fe", Seq: 9, Shed: 1,
 		Nodes: []NodeHealth{{ID: 4, Suspicions: 1, Speed: 2.5}},
+	}.AppendWire(nil))
+	f.Add(HealthReport{
+		FE: "fe", Seq: 10, ShedNormal: 3, HedgesDenied: 2, QueueP99Nanos: 7,
+		Nodes: []NodeHealth{{ID: 4, Contacts: 2, LatP50Nanos: 5, LatP99Nanos: 50}},
 	}.AppendWire(nil))
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})

@@ -76,10 +76,12 @@ type QueryResp struct {
 	// MatchNanos is pure matching time on the node, for the delay
 	// breakdown of Fig 7.11.
 	MatchNanos int64 `json:"match_ns"`
-	// QueueDepth is the number of OTHER sub-queries executing on the
-	// node when this response was produced. Frontends fold it into
-	// their finish-time estimates so a node backed up by competing
-	// frontends is scheduled around before its own EWMA degrades.
+	// QueueDepth is the number of OTHER sub-queries already executing on
+	// the node when this sub-query arrived (arrival sampling: under
+	// synchronized closed-loop load, completion-time sampling always
+	// lands in the trough between waves). Frontends fold it into their
+	// finish-time estimates so a node backed up by competing frontends
+	// is scheduled around before its own EWMA degrades.
 	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
@@ -256,6 +258,14 @@ type NodeHealth struct {
 	// Speed is the frontend's EWMA speed estimate (fraction/s; 0 =
 	// no observation yet).
 	Speed float64 `json:"speed,omitempty"`
+
+	// Latency digest (autoscale extension): p50/p99 of this frontend's
+	// recent sub-query latencies against the node, from the same
+	// per-node histories the adaptive hedge delay uses. Zero until the
+	// tracker has warmed up. Rides the binary extension block of
+	// HealthReport; old decoders never see it.
+	LatP50Nanos int64 `json:"lat_p50_ns,omitempty"`
+	LatP99Nanos int64 `json:"lat_p99_ns,omitempty"`
 }
 
 // HealthReport is the periodic per-frontend health push (MMemberHealth):
@@ -267,11 +277,69 @@ type HealthReport struct {
 	FE string `json:"fe,omitempty"`
 	// Seq increases by one per report from this frontend.
 	Seq uint64 `json:"seq"`
-	// Shed counts queries this frontend rejected at admission due to
-	// overload since its last report.
+	// Shed counts PriorityLow queries this frontend rejected at
+	// admission due to overload since its last report.
 	Shed int `json:"shed,omitempty"`
 	// Nodes carries the per-node observation deltas.
 	Nodes []NodeHealth `json:"nodes,omitempty"`
+
+	// --- autoscale telemetry extension ---
+	//
+	// The fields below (plus NodeHealth's latency digest) feed the
+	// membership elasticity controller. On the binary codec they travel
+	// in a trailing extension block that is emitted only when at least
+	// one of them is non-zero, so a report with no extension data is
+	// byte-identical to the pre-extension encoding; new decoders accept
+	// both forms. On JSON they are ordinary omitempty fields. A frontend
+	// talking to a pre-extension coordinator strips them (StripExt)
+	// after the first "trailing bytes" decode rejection.
+
+	// ShedNormal counts PriorityNormal queries rejected because the
+	// admission queue wait exceeded its bound (ErrOverloaded) since the
+	// last report — the second shed priority class, distinct from the
+	// sheddable-low Shed counter.
+	ShedNormal int `json:"shed_normal,omitempty"`
+	// HedgesDenied counts hedges suppressed by budget exhaustion, the
+	// per-query cap, or the overload brake since the last report —
+	// sustained denial means the tail is being left unprotected for
+	// lack of capacity.
+	HedgesDenied int `json:"hedges_denied,omitempty"`
+	// QueueP50Nanos / QueueP99Nanos digest the admission-queue wait of
+	// recently admitted queries (gauges over a rolling window, not
+	// deltas).
+	QueueP50Nanos int64 `json:"queue_p50_ns,omitempty"`
+	QueueP99Nanos int64 `json:"queue_p99_ns,omitempty"`
+}
+
+// HasExt reports whether any autoscale-extension field (including the
+// per-node latency digests) is set; the binary encoder emits the
+// trailing extension block only then.
+func (h HealthReport) HasExt() bool {
+	if h.ShedNormal != 0 || h.HedgesDenied != 0 || h.QueueP50Nanos != 0 || h.QueueP99Nanos != 0 {
+		return true
+	}
+	for _, nh := range h.Nodes {
+		if nh.LatP50Nanos != 0 || nh.LatP99Nanos != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StripExt returns a copy with every extension field zeroed — the form
+// a pre-extension coordinator's strict binary decoder accepts. The base
+// evidence (suspicions, probes, contacts, depths, speeds) is preserved.
+func (h HealthReport) StripExt() HealthReport {
+	h.ShedNormal, h.HedgesDenied, h.QueueP50Nanos, h.QueueP99Nanos = 0, 0, 0, 0
+	if h.HasExt() { // some node carries a digest: copy before clearing
+		nodes := make([]NodeHealth, len(h.Nodes))
+		copy(nodes, h.Nodes)
+		for i := range nodes {
+			nodes[i].LatP50Nanos, nodes[i].LatP99Nanos = 0, 0
+		}
+		h.Nodes = nodes
+	}
+	return h
 }
 
 // HealthResp acknowledges a health report with the aggregator's current

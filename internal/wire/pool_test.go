@@ -140,3 +140,57 @@ func TestPoolCloseFailsCalls(t *testing.T) {
 		t.Error("call on closed pooled client should fail")
 	}
 }
+
+// TestDrainCloseLetsInFlightFinish: a drain must reject new calls
+// immediately but let the call already on the wire complete, closing
+// the pool as soon as it does — the view-driven pool retune path.
+func TestDrainCloseLetsInFlightFinish(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClientWithConfig(addr, ClientConfig{PoolSize: 2})
+
+	res := make(chan error, 1)
+	go func() {
+		var resp echoResp
+		res <- c.Call(context.Background(), "echo", echoReq{Msg: "slow", Sleep: 60}, &resp)
+	}()
+	// Wait until the slow call is actually in flight.
+	for c.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	drained := c.DrainClose(2 * time.Second)
+	if !drained {
+		t.Fatal("drain timed out with a 60ms call and a 2s budget")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("drain waited %v; should close promptly after the call finished", elapsed)
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", err)
+	}
+	if err := c.Call(context.Background(), "echo", echoReq{Msg: "x"}, nil); err != ErrClosed {
+		t.Fatalf("call after drain = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainCloseTimeoutForcesClose: a call outliving the drain budget
+// is cut off at the deadline rather than pinning the old pool forever.
+func TestDrainCloseTimeoutForcesClose(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClientWithConfig(addr, ClientConfig{PoolSize: 1})
+
+	res := make(chan error, 1)
+	go func() {
+		res <- c.Call(context.Background(), "echo", echoReq{Msg: "stuck", Sleep: 2000}, nil)
+	}()
+	for c.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if drained := c.DrainClose(30 * time.Millisecond); drained {
+		t.Fatal("drain reported success around a 2s call")
+	}
+	if err := <-res; err == nil {
+		t.Fatal("call surviving past the drain deadline should have failed")
+	}
+}

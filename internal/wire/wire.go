@@ -361,10 +361,53 @@ func (c *Client) Close() error {
 	return err
 }
 
+// DrainClose retires the client gracefully: new Calls are rejected with
+// ErrClosed immediately, but calls already in flight keep their
+// connections and run to completion; the sockets close once the last
+// in-flight call finishes, or when the drain timeout expires, whichever
+// comes first. It blocks for up to timeout — callers retiring a pool
+// out of band (a view-driven retune) run it in a goroutine. Returns
+// true when the pool drained fully before the deadline.
+func (c *Client) DrainClose(timeout time.Duration) bool {
+	c.closed.Store(true)
+	// Barrier: conn() checks closed and takes the in-flight reservation
+	// under the slot lock, so after cycling each lock once, every call
+	// admitted before the flag flip is counted in Stats().InFlight and
+	// every later call gets ErrClosed — the poll below cannot close the
+	// sockets under a call it never saw.
+	for _, s := range c.slots {
+		s.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		s.mu.Unlock()
+	}
+	deadline := time.Now().Add(timeout)
+	drained := false
+	for {
+		if c.Stats().InFlight == 0 {
+			drained = true
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Close()
+	return drained
+}
+
 // conn returns the healthy connection for pool index i, dialling (and
 // negotiating framing) if the slot is empty — lazy dial, and redial
 // after eviction. Only the slot's own lock is held across the dial, so
 // a dead slot cannot stall calls on its healthy neighbours.
+//
+// The caller's in-flight reservation is taken HERE, under the slot
+// lock, in the same critical section as the closed check: DrainClose
+// sets closed and then takes each slot lock once as a barrier, after
+// which every call it let through is visible in Stats().InFlight and
+// every later call sees ErrClosed — no window where a call holds a
+// connection the drainer believes idle. The caller must release the
+// reservation (cc.inflight.Add(-1)) on every path.
 func (c *Client) conn(i int) (*clientConn, error) {
 	s := c.slots[i]
 	s.mu.Lock()
@@ -373,6 +416,7 @@ func (c *Client) conn(i int) (*clientConn, error) {
 		return nil, ErrClosed
 	}
 	if s.cc != nil {
+		s.cc.inflight.Add(1)
 		return s.cc, nil
 	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
@@ -398,6 +442,7 @@ func (c *Client) conn(i int) (*clientConn, error) {
 	}
 	s.cc = cc
 	go c.readLoop(i, cc)
+	cc.inflight.Add(1)
 	return cc, nil
 }
 
@@ -486,6 +531,9 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 	if err != nil {
 		return err
 	}
+	// conn() took the in-flight reservation under the slot lock (see its
+	// comment — DrainClose depends on that ordering).
+	defer cc.inflight.Add(-1)
 	id := c.nextID.Add(1)
 	bodyBuf := getBuf()
 	data, codec, err := encodeBody(in, cc.binary, *bodyBuf)
@@ -498,8 +546,6 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 	cc.pmu.Lock()
 	cc.pending[id] = ch
 	cc.pmu.Unlock()
-	cc.inflight.Add(1)
-	defer cc.inflight.Add(-1)
 
 	cc.wmu.Lock()
 	werr := writeFrame(cc.conn, &req, cc.binary)
