@@ -27,10 +27,12 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"roar/internal/index"
 	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/store"
@@ -49,6 +51,11 @@ func main() {
 		keyword  = flag.String("keyword", "", "content keyword to search")
 		path     = flag.String("path", "", "path component to search")
 		sizeOver = flag.Float64("size-over", 0, "match files larger than this")
+		idxOut   = flag.String("index-out", "", "with -gen: also write a plaintext index segment (for roar-node -index)")
+		terms    = flag.String("terms", "", "comma-separated plaintext terms (queries the index data plane)")
+		mode     = flag.String("mode", "and", "plaintext query mode: and, or, threshold")
+		minMatch = flag.Int("min-match", 0, "terms that must match in threshold mode")
+		limit    = flag.Int("limit", 0, "top-k cut for plaintext queries (0 = all)")
 		count    = flag.Int("count", 1, "number of queries to issue")
 		conc     = flag.Int("concurrency", 1, "concurrent in-flight queries")
 		pool     = flag.Int("pool", 1, "TCP connections to the frontend")
@@ -60,7 +67,7 @@ func main() {
 
 	switch {
 	case *gen > 0:
-		if err := generate(enc, *gen, *out); err != nil {
+		if err := generate(enc, *gen, *out, *idxOut); err != nil {
 			fatal(err)
 		}
 	case *load != "":
@@ -75,24 +82,38 @@ func main() {
 		}
 		fmt.Printf("membership loaded %d records\n", resp.Records)
 	case *fe != "":
-		var preds []pps.Predicate
-		if *keyword != "" {
-			preds = append(preds, pps.Predicate{Kind: pps.Keyword, Word: *keyword})
-		}
-		if *path != "" {
-			preds = append(preds, pps.Predicate{Kind: pps.PathComponent, Word: *path})
-		}
-		if *sizeOver > 0 {
-			preds = append(preds, pps.Predicate{Kind: pps.SizeGreater, Value: *sizeOver})
-		}
-		if len(preds) == 0 {
-			fatal(fmt.Errorf("no predicates; use -keyword/-path/-size-over"))
-		}
-		if *count > 1 || *conc > 1 {
-			if err := loadTest(enc, *fe, preds, *count, *conc, *pool, *timeout); err != nil {
+		var req proto.FEQueryReq
+		if *terms != "" {
+			pq, err := plainQuery(*terms, *mode, *minMatch, *limit)
+			if err != nil {
 				fatal(err)
 			}
-		} else if err := search(enc, *fe, preds, *timeout); err != nil {
+			req.Plain = pq
+		} else {
+			var preds []pps.Predicate
+			if *keyword != "" {
+				preds = append(preds, pps.Predicate{Kind: pps.Keyword, Word: *keyword})
+			}
+			if *path != "" {
+				preds = append(preds, pps.Predicate{Kind: pps.PathComponent, Word: *path})
+			}
+			if *sizeOver > 0 {
+				preds = append(preds, pps.Predicate{Kind: pps.SizeGreater, Value: *sizeOver})
+			}
+			if len(preds) == 0 {
+				fatal(fmt.Errorf("no predicates; use -keyword/-path/-size-over or -terms"))
+			}
+			q, err := enc.EncryptQuery(pps.And, preds...)
+			if err != nil {
+				fatal(err)
+			}
+			req.Q = q
+		}
+		if *count > 1 || *conc > 1 {
+			if err := loadTest(*fe, req, *count, *conc, *pool, *timeout); err != nil {
+				fatal(err)
+			}
+		} else if err := search(*fe, req, *timeout); err != nil {
 			fatal(err)
 		}
 	default:
@@ -100,11 +121,40 @@ func main() {
 	}
 }
 
-func generate(enc *pps.Encoder, n int, out string) error {
+// plainQuery parses the -terms/-mode/-min-match/-limit flags into the
+// plaintext query the index data plane serves.
+func plainQuery(terms, mode string, minMatch, limit int) (*proto.PlainQuery, error) {
+	pq := &proto.PlainQuery{MinMatch: minMatch, Limit: limit}
+	for _, t := range strings.Split(terms, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			pq.Terms = append(pq.Terms, t)
+		}
+	}
+	if len(pq.Terms) == 0 {
+		return nil, fmt.Errorf("-terms is empty")
+	}
+	switch mode {
+	case "and":
+		pq.Mode = uint8(index.ModeAnd)
+	case "or":
+		pq.Mode = uint8(index.ModeOr)
+	case "threshold":
+		pq.Mode = uint8(index.ModeThreshold)
+		if minMatch <= 0 {
+			return nil, fmt.Errorf("threshold mode needs -min-match")
+		}
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (and, or, threshold)", mode)
+	}
+	return pq, nil
+}
+
+func generate(enc *pps.Encoder, n int, out, idxOut string) error {
 	gen := workload.NewCorpus(5000, 7)
 	files := gen.Generate(n)
 	rng := rand.New(rand.NewSource(99))
 	recs := make([]pps.Encoded, 0, n)
+	b := index.NewBuilder()
 	for _, f := range files {
 		kws := f.Keywords
 		if len(kws) > 50 {
@@ -117,19 +167,27 @@ func generate(enc *pps.Encoder, n int, out string) error {
 			return err
 		}
 		recs = append(recs, r)
+		if idxOut != "" {
+			b.Add(d.ID, kws...)
+		}
 	}
 	if err := store.SaveFile(out, recs); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d encrypted records to %s (%d bytes each)\n", n, out, enc.MetadataBytes())
+	if idxOut != "" {
+		// The segment carries the SAME ids as the encrypted corpus, so a
+		// plaintext -terms query and an encrypted -keyword query for the
+		// same word must return identical id sets.
+		if err := index.SaveFile(idxOut, b.Build("corpus")); err != nil {
+			return err
+		}
+		fmt.Printf("wrote matching index segment to %s\n", idxOut)
+	}
 	return nil
 }
 
-func search(enc *pps.Encoder, addr string, preds []pps.Predicate, timeout time.Duration) error {
-	q, err := enc.EncryptQuery(pps.And, preds...)
-	if err != nil {
-		return err
-	}
+func search(addr string, req proto.FEQueryReq, timeout time.Duration) error {
 	cl := wire.NewClient(addr)
 	defer cl.Close()
 	var resp proto.FEQueryResp
@@ -140,7 +198,7 @@ func search(enc *pps.Encoder, addr string, preds []pps.Predicate, timeout time.D
 		defer cancel()
 	}
 	start := time.Now()
-	if err := cl.Call(ctx, proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp); err != nil {
+	if err := cl.Call(ctx, proto.MFEQuery, req, &resp); err != nil {
 		return err
 	}
 	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries, %d failures, %d hedges)\n",
@@ -160,11 +218,7 @@ func search(enc *pps.Encoder, addr string, preds []pps.Predicate, timeout time.D
 // loadTest issues count queries with conc concurrent workers over a
 // pooled connection and reports throughput and the delay distribution —
 // the client-side view of the frontend's execution pipeline.
-func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc, pool int, timeout time.Duration) error {
-	q, err := enc.EncryptQuery(pps.And, preds...)
-	if err != nil {
-		return err
-	}
+func loadTest(addr string, req proto.FEQueryReq, count, conc, pool int, timeout time.Duration) error {
 	if conc < 1 {
 		conc = 1
 	}
@@ -200,7 +254,7 @@ func loadTest(enc *pps.Encoder, addr string, preds []pps.Predicate, count, conc,
 					ctx, cancel = context.WithTimeout(ctx, timeout)
 				}
 				t0 := time.Now()
-				err := cl.Call(ctx, proto.MFEQuery, proto.FEQueryReq{Q: q}, &resp)
+				err := cl.Call(ctx, proto.MFEQuery, req, &resp)
 				if cancel != nil {
 					cancel()
 				}

@@ -145,7 +145,11 @@ func main() {
 		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
-		res, err := fe.ExecuteOpts(ctx, req.Q, frontend.ExecOptions{Priority: frontend.Priority(req.Priority)})
+		// Plain selects the nodes' roaring-bitmap index data plane; the
+		// scheduling/hedging/merge pipeline is shared with encrypted
+		// queries (see frontend.QuerySpec).
+		res, err := fe.ExecuteSpec(ctx, frontend.QuerySpec{Enc: req.Q, Plain: req.Plain},
+			frontend.ExecOptions{Priority: frontend.Priority(req.Priority)})
 		if err != nil {
 			return nil, err
 		}

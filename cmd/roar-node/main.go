@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"roar/internal/index"
 	"roar/internal/node"
 	"roar/internal/pps"
 	"roar/internal/proto"
@@ -21,12 +23,14 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "address to serve on")
-		member  = flag.String("member", "", "membership server address (optional)")
-		mbits   = flag.Int("mbits", 0, "PPS filter size in bits (0 = full default encoding)")
-		threads = flag.Int("threads", 1, "matching threads")
-		speed   = flag.Float64("speed", 0, "throttle to N objects/s (0 = unthrottled)")
-		hint    = flag.Float64("hint", 1, "speed hint reported at join")
+		listen   = flag.String("listen", "127.0.0.1:0", "address to serve on")
+		member   = flag.String("member", "", "membership server address (optional)")
+		mbits    = flag.Int("mbits", 0, "PPS filter size in bits (0 = full default encoding)")
+		threads  = flag.Int("threads", 1, "matching threads")
+		speed    = flag.Float64("speed", 0, "throttle to N objects/s (0 = unthrottled)")
+		hint     = flag.Float64("hint", 1, "speed hint reported at join")
+		idxFiles = flag.String("index", "", "comma-separated roaring segment files to serve plaintext queries from")
+		idxMem   = flag.Int64("index-budget", 0, "posting-cache memory budget in bytes (0 = 32 MiB default)")
 	)
 	flag.Parse()
 
@@ -34,11 +38,26 @@ func main() {
 	if *mbits == 0 {
 		params = pps.NewEncoder(pps.MasterKey{}, pps.EncoderConfig{}).ServerParams()
 	}
-	n, err := node.New(node.Config{
+	cfg := node.Config{
 		Params:        params,
 		MatchThreads:  *threads,
 		ObjectsPerSec: *speed,
-	})
+	}
+	if *idxFiles != "" {
+		ix := index.New(*idxMem)
+		for _, path := range strings.Split(*idxFiles, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			if err := ix.AddFile(path); err != nil {
+				fatal(err)
+			}
+		}
+		cfg.Index = ix
+		fmt.Printf("loaded plaintext index: %d docs across %d segments (budget %d B)\n",
+			ix.Docs(), len(ix.Segments()), ix.Cache().Budget())
+	}
+	n, err := node.New(cfg)
 	if err != nil {
 		fatal(err)
 	}

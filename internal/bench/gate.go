@@ -157,6 +157,14 @@ func DefaultTracked() []GateMetric {
 		{Bench: "BenchmarkTailLatency/hedged-budget-5pct", Unit: "p99-ms", Threshold: 1.0},
 		{Bench: "BenchmarkReconfigUnderLoad", Unit: "queries/s", HigherBetter: true, Threshold: 0.5},
 		{Bench: "BenchmarkReconfigUnderLoad", Unit: "p99-ms", Threshold: 1.0},
+		{Bench: "BenchmarkIndexMatch/warm", Unit: "ns/op", Threshold: 1.0},
+		// The index's reason to exist: warm-cache queries must stay an
+		// order of magnitude ahead of the emulated scan. The baseline is
+		// measured in the hundreds; the 0.5 budget keeps the gate well
+		// above the ≥10× acceptance floor without tripping on runner
+		// variance.
+		{Bench: "BenchmarkIndexMatch/warm", Unit: "speedup-x", HigherBetter: true, Threshold: 0.5},
+		{Bench: "BenchmarkIndexMatch/cold", Unit: "ns/op", Threshold: 1.0},
 	}
 }
 

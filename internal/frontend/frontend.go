@@ -523,6 +523,16 @@ func (f *Frontend) estimator() core.Estimator {
 	})
 }
 
+// QuerySpec names one query's payload for the pluggable node data
+// planes: Enc is the PPS encrypted query (the default), Plain — when
+// non-nil — routes to the nodes' roaring-bitmap index matcher instead.
+// The scheduling, hedging, failure-recovery, and merge pipeline is
+// identical for both.
+type QuerySpec struct {
+	Enc   pps.Query
+	Plain *proto.PlainQuery
+}
+
 // Execute runs one encrypted query end to end at PriorityNormal:
 // admission, scheduling, pipelined dispatch with hedging, and
 // streaming merge.
@@ -530,11 +540,24 @@ func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
 	return f.ExecuteOpts(ctx, q, ExecOptions{})
 }
 
-// ExecuteOpts is Execute with explicit per-query options. PriorityLow
-// queries are shed with ErrShed — before consuming an admission slot —
-// while the cluster's reported queue depths are over the shed
-// high-water mark.
+// ExecuteOpts is Execute with explicit per-query options.
 func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOptions) (Result, error) {
+	return f.ExecuteSpec(ctx, QuerySpec{Enc: q}, opts)
+}
+
+// ExecutePlain runs one plaintext index query at PriorityNormal. Each
+// node returns at most pq.Limit of the numerically-smallest ids in its
+// arc; the merged result is cut to the same global top-k after the
+// final sort, so the answer matches a single-index evaluation.
+func (f *Frontend) ExecutePlain(ctx context.Context, pq proto.PlainQuery) (Result, error) {
+	return f.ExecuteSpec(ctx, QuerySpec{Plain: &pq}, ExecOptions{})
+}
+
+// ExecuteSpec is the full-generality entry point: any data plane, any
+// options. PriorityLow queries are shed with ErrShed — before consuming
+// an admission slot — while the cluster's reported queue depths are
+// over the shed high-water mark.
+func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOptions) (Result, error) {
 	t0 := time.Now()
 	if opts.Priority < PriorityNormal && f.overloaded() {
 		f.shed.Add(1)
@@ -610,14 +633,19 @@ func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOption
 		seen:    make(map[uint64]struct{}),
 		workers: workers,
 	}
-	f.dispatchAll(ctx, pl, est, q, plan.Subs, 0, agg)
+	f.dispatchAll(ctx, pl, est, spec, plan.Subs, 0, agg)
 	dispatchDur := time.Since(t1)
 
 	// Merge: responses were deduplicated on arrival, so only the final
-	// ordering remains.
+	// ordering remains — plus the global top-k cut for limited plaintext
+	// queries (each node returned its arc-local smallest ids; the global
+	// smallest k are a subset of their union).
 	t2 := time.Now()
 	ids := agg.ids
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	if spec.Plain != nil && spec.Plain.Limit > 0 && len(ids) > spec.Plain.Limit {
+		ids = ids[:spec.Plain.Limit]
+	}
 	mergeDur := time.Since(t2)
 
 	out := Result{
@@ -743,7 +771,7 @@ func (a *aggregator) hedgeWon() {
 // (hedge.go) when enabled. A sub-query that fails on every leg is split
 // per §4.4 and re-dispatched (bounded depth to terminate under mass
 // failure).
-func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, q pps.Query, subs []core.SubQuery, depth int, agg *aggregator) {
+func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core.Estimator, spec QuerySpec, subs []core.SubQuery, depth int, agg *aggregator) {
 	const maxDepth = 4
 	var wg sync.WaitGroup
 	agg.countSent(len(subs))
@@ -751,7 +779,7 @@ func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core
 		wg.Add(1)
 		go func(sub core.SubQuery) {
 			defer wg.Done()
-			err := f.sendSubHedged(ctx, pl, est, agg, q, sub)
+			err := f.sendSubHedged(ctx, pl, est, agg, spec, sub)
 			if err == nil {
 				return
 			}
@@ -774,7 +802,7 @@ func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core
 				agg.fail(fmt.Errorf("frontend: cannot re-place failed sub-query: %w", rerr))
 				return
 			}
-			f.dispatchAll(ctx, pl, est, q, repaired.Subs, depth+1, agg)
+			f.dispatchAll(ctx, pl, est, spec, repaired.Subs, depth+1, agg)
 		}(sub)
 	}
 	wg.Wait()
@@ -788,7 +816,7 @@ func (f *Frontend) dispatchAll(ctx context.Context, pl *core.Placement, est core
 // A non-nil started channel is closed once both are held and the RPC is
 // about to go out — the hedge timer keys off it so local queueing never
 // counts as remote slowness.
-func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint64, q pps.Query, sub core.SubQuery, started chan<- struct{}) (proto.QueryResp, error) {
+func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint64, spec QuerySpec, sub core.SubQuery, started chan<- struct{}) (proto.QueryResp, error) {
 	f.mu.RLock()
 	h := f.nodes[sub.Node]
 	f.mu.RUnlock()
@@ -829,7 +857,7 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 
 	cctx, cancel := context.WithTimeout(ctx, f.cfg.SubQueryTimeout)
 	defer cancel()
-	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: q}
+	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: spec.Enc, Plain: spec.Plain}
 	start := time.Now()
 	var resp proto.QueryResp
 	// Snapshot the client only now, after the (possibly long) credit and

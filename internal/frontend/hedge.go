@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"roar/internal/core"
-	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/ring"
 )
@@ -163,7 +162,7 @@ type subResult struct {
 // the primary's error after every side failed (the caller then runs the
 // §4.4 re-dispatch). Suspicion is only recorded for legs that failed on
 // their own — never for legs we cancelled after losing the race.
-func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est core.Estimator, agg *aggregator, q pps.Query, sub core.SubQuery) error {
+func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est core.Estimator, agg *aggregator, spec QuerySpec, sub core.SubQuery) error {
 	// Every primary dispatch funds the hedge budget with its fraction
 	// of a token, whatever happens to this particular sub-query.
 	f.mu.RLock()
@@ -174,7 +173,7 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 
 	hd := f.hedgeDelay(sub.Node)
 	if hd <= 0 || hd >= f.cfg.SubQueryTimeout {
-		resp, err := f.sendSub(ctx, agg.workers, agg.qid, q, sub, nil)
+		resp, err := f.sendSub(ctx, agg.workers, agg.qid, spec, sub, nil)
 		if err == nil {
 			agg.add(resp)
 			return nil
@@ -190,7 +189,7 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 	primary := make(chan subResult, 1)
 	started := make(chan struct{})
 	go func() {
-		resp, err := f.sendSub(pctx, agg.workers, agg.qid, q, sub, started)
+		resp, err := f.sendSub(pctx, agg.workers, agg.qid, spec, sub, started)
 		primary <- subResult{resps: []proto.QueryResp{resp}, err: err}
 	}()
 
@@ -267,7 +266,7 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 			hwg.Add(1)
 			go func(hs core.SubQuery) {
 				defer hwg.Done()
-				resp, err := f.sendSub(hctx, agg.workers, agg.qid, q, hs, nil)
+				resp, err := f.sendSub(hctx, agg.workers, agg.qid, spec, hs, nil)
 				if err != nil {
 					if hctx.Err() == nil {
 						f.suspect(hs.Node) // genuine hedge-node failure

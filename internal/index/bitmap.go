@@ -1,0 +1,467 @@
+// Package index implements the plaintext inverted-index data plane: term
+// posting lists stored as roaring bitmaps, grouped into immutable
+// segments with a SaveFile-style length-prefixed disk layout, loaded
+// through a memory-budgeted LRU cache so a node can serve indexes far
+// larger than RAM. It is the second matcher behind internal/node's
+// pluggable Matcher interface — the same ring/hedging/autoscale
+// machinery that serves PPS encrypted scans serves these indexes
+// unchanged, but a sub-query here costs a few container intersections
+// instead of an HMAC per stored record.
+package index
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Roaring layout: a Bitmap holds uint64 values chunked by their high 48
+// bits. Each chunk ("container") stores the low 16 bits either as a
+// sorted uint16 array (sparse, ≤ arrayMaxCard values) or as a 65536-bit
+// word array (dense). Posting lists are built over dense per-segment
+// doc ordinals (see segment.go), which is what makes the dense
+// containers actually occur; the Bitmap itself accepts arbitrary uint64
+// values, so record-id bitmaps work too — they just stay in array form.
+
+const (
+	// arrayMaxCard is the array→bitmap promotion threshold: past 4096
+	// values the 8KB word array is smaller than 2 bytes per value.
+	arrayMaxCard = 4096
+	// containerWords is the dense form's word count (65536 bits).
+	containerWords = 1 << 16 / 64
+)
+
+// container holds one 2^16-value chunk. Exactly one of array/words is
+// non-nil; card tracks the value count in both forms.
+type container struct {
+	array []uint16 // sorted unique, when words == nil
+	words []uint64 // len containerWords, when dense
+	card  int
+}
+
+func (c *container) memBytes() int {
+	if c.words != nil {
+		return containerWords * 8
+	}
+	return 2 * len(c.array)
+}
+
+func (c *container) contains(low uint16) bool {
+	if c.words != nil {
+		return c.words[low>>6]&(1<<(low&63)) != 0
+	}
+	i := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= low })
+	return i < len(c.array) && c.array[i] == low
+}
+
+func (c *container) add(low uint16) {
+	if c.words != nil {
+		w, b := low>>6, uint64(1)<<(low&63)
+		if c.words[w]&b == 0 {
+			c.words[w] |= b
+			c.card++
+		}
+		return
+	}
+	i := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= low })
+	if i < len(c.array) && c.array[i] == low {
+		return
+	}
+	c.array = append(c.array, 0)
+	copy(c.array[i+1:], c.array[i:])
+	c.array[i] = low
+	c.card++
+	if c.card > arrayMaxCard {
+		c.toWords()
+	}
+}
+
+func (c *container) toWords() {
+	words := make([]uint64, containerWords)
+	for _, v := range c.array {
+		words[v>>6] |= 1 << (v & 63)
+	}
+	c.words, c.array = words, nil
+}
+
+// toArray demotes a sparse dense-form container back to array form
+// (set operations produce canonical containers: array iff ≤ 4096).
+func (c *container) toArray() {
+	arr := make([]uint16, 0, c.card)
+	for w, word := range c.words {
+		for word != 0 {
+			arr = append(arr, uint16(w<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	c.array, c.words = arr, nil
+}
+
+func (c *container) canonicalize() {
+	if c.words != nil && c.card <= arrayMaxCard {
+		c.toArray()
+	}
+}
+
+// iterate calls fn for each value in ascending order; fn returning false
+// stops early. Returns false when stopped.
+func (c *container) iterate(fn func(low uint16) bool) bool {
+	if c.words != nil {
+		for w, word := range c.words {
+			for word != 0 {
+				if !fn(uint16(w<<6 + bits.TrailingZeros64(word))) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+		return true
+	}
+	for _, v := range c.array {
+		if !fn(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func andContainer(a, b *container) *container {
+	switch {
+	case a.words != nil && b.words != nil:
+		words := make([]uint64, containerWords)
+		card := 0
+		for i := range words {
+			words[i] = a.words[i] & b.words[i]
+			card += bits.OnesCount64(words[i])
+		}
+		if card == 0 {
+			return nil
+		}
+		out := &container{words: words, card: card}
+		out.canonicalize()
+		return out
+	case a.words == nil && b.words == nil:
+		// Merge the smaller array against the larger with binary probes.
+		small, large := a, b
+		if len(small.array) > len(large.array) {
+			small, large = large, small
+		}
+		var arr []uint16
+		for _, v := range small.array {
+			if large.contains(v) {
+				arr = append(arr, v)
+			}
+		}
+		if len(arr) == 0 {
+			return nil
+		}
+		return &container{array: arr, card: len(arr)}
+	default:
+		arrC, wordC := a, b
+		if arrC.words != nil {
+			arrC, wordC = b, a
+		}
+		var arr []uint16
+		for _, v := range arrC.array {
+			if wordC.contains(v) {
+				arr = append(arr, v)
+			}
+		}
+		if len(arr) == 0 {
+			return nil
+		}
+		return &container{array: arr, card: len(arr)}
+	}
+}
+
+func orContainer(a, b *container) *container {
+	if a.words != nil || b.words != nil || a.card+b.card > arrayMaxCard {
+		words := make([]uint64, containerWords)
+		fill := func(c *container) {
+			if c.words != nil {
+				for i, w := range c.words {
+					words[i] |= w
+				}
+				return
+			}
+			for _, v := range c.array {
+				words[v>>6] |= 1 << (v & 63)
+			}
+		}
+		fill(a)
+		fill(b)
+		card := 0
+		for _, w := range words {
+			card += bits.OnesCount64(w)
+		}
+		out := &container{words: words, card: card}
+		out.canonicalize()
+		return out
+	}
+	arr := make([]uint16, 0, a.card+b.card)
+	i, j := 0, 0
+	for i < len(a.array) && j < len(b.array) {
+		switch {
+		case a.array[i] < b.array[j]:
+			arr = append(arr, a.array[i])
+			i++
+		case a.array[i] > b.array[j]:
+			arr = append(arr, b.array[j])
+			j++
+		default:
+			arr = append(arr, a.array[i])
+			i, j = i+1, j+1
+		}
+	}
+	arr = append(arr, a.array[i:]...)
+	arr = append(arr, b.array[j:]...)
+	return &container{array: arr, card: len(arr)}
+}
+
+// Bitmap is a compressed set of uint64 values. The zero value is not
+// usable; construct with NewBitmap or the package operations. Bitmaps
+// returned by Segment/Cache lookups are shared and must be treated as
+// immutable.
+type Bitmap struct {
+	keys []uint64 // value >> 16, strictly increasing
+	cs   []*container
+	card int
+}
+
+// NewBitmap returns an empty bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Cardinality returns the number of values in the set.
+func (b *Bitmap) Cardinality() int { return b.card }
+
+// MemBytes estimates the bitmap's in-memory footprint, the unit the
+// segment cache budgets.
+func (b *Bitmap) MemBytes() int {
+	n := 64 + 8*len(b.keys) // struct + key slice + container headers
+	for _, c := range b.cs {
+		n += 48 + c.memBytes()
+	}
+	return n
+}
+
+func (b *Bitmap) keyIndex(key uint64) (int, bool) {
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	return i, i < len(b.keys) && b.keys[i] == key
+}
+
+// Add inserts a value.
+func (b *Bitmap) Add(v uint64) {
+	key := v >> 16
+	i, ok := b.keyIndex(key)
+	if !ok {
+		b.keys = append(b.keys, 0)
+		b.cs = append(b.cs, nil)
+		copy(b.keys[i+1:], b.keys[i:])
+		copy(b.cs[i+1:], b.cs[i:])
+		b.keys[i] = key
+		b.cs[i] = &container{}
+	}
+	c := b.cs[i]
+	before := c.card
+	c.add(uint16(v))
+	b.card += c.card - before
+}
+
+// Contains reports membership.
+func (b *Bitmap) Contains(v uint64) bool {
+	i, ok := b.keyIndex(v >> 16)
+	return ok && b.cs[i].contains(uint16(v))
+}
+
+// Iterate calls fn for each value in ascending order until fn returns
+// false.
+func (b *Bitmap) Iterate(fn func(v uint64) bool) {
+	for i, key := range b.keys {
+		base := key << 16
+		if !b.cs[i].iterate(func(low uint16) bool { return fn(base | uint64(low)) }) {
+			return
+		}
+	}
+}
+
+// AppendRange appends the values in the inclusive range [from, to] to
+// out, in ascending order, stopping once limit values have been
+// appended in total (limit <= 0 means unlimited). It returns the
+// extended slice.
+func (b *Bitmap) AppendRange(from, to uint64, limit int, out []uint64) []uint64 {
+	if from > to {
+		return out
+	}
+	loKey, hiKey := from>>16, to>>16
+	start := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= loKey })
+	for i := start; i < len(b.keys) && b.keys[i] <= hiKey; i++ {
+		base := b.keys[i] << 16
+		boundary := b.keys[i] == loKey || b.keys[i] == hiKey
+		if !b.cs[i].iterate(func(low uint16) bool {
+			v := base | uint64(low)
+			if boundary && (v < from || v > to) {
+				return v <= to // past `to` inside the last container: stop
+			}
+			out = append(out, v)
+			return limit <= 0 || len(out) < limit
+		}) {
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// And intersects two bitmaps.
+func And(a, b *Bitmap) *Bitmap {
+	out := NewBitmap()
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			if c := andContainer(a.cs[i], b.cs[j]); c != nil {
+				out.keys = append(out.keys, a.keys[i])
+				out.cs = append(out.cs, c)
+				out.card += c.card
+			}
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// Or unions two bitmaps.
+func Or(a, b *Bitmap) *Bitmap {
+	out := NewBitmap()
+	i, j := 0, 0
+	push := func(key uint64, c *container) {
+		out.keys = append(out.keys, key)
+		out.cs = append(out.cs, c)
+		out.card += c.card
+	}
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			push(a.keys[i], a.cs[i])
+			i++
+		case a.keys[i] > b.keys[j]:
+			push(b.keys[j], b.cs[j])
+			j++
+		default:
+			push(a.keys[i], orContainer(a.cs[i], b.cs[j]))
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(a.keys); i++ {
+		push(a.keys[i], a.cs[i])
+	}
+	for ; j < len(b.keys); j++ {
+		push(b.keys[j], b.cs[j])
+	}
+	return out
+}
+
+// AndAll intersects the given bitmaps smallest-cardinality-first,
+// terminating early the moment the running intersection goes empty —
+// the cheap predicates prune before the expensive ones are touched.
+func AndAll(bms []*Bitmap) *Bitmap {
+	if len(bms) == 0 {
+		return NewBitmap()
+	}
+	sorted := append([]*Bitmap(nil), bms...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].card < sorted[b].card })
+	acc := sorted[0]
+	if acc.card == 0 {
+		return NewBitmap()
+	}
+	for _, bm := range sorted[1:] {
+		acc = And(acc, bm)
+		if acc.card == 0 {
+			break
+		}
+	}
+	// Single input shares the original — bitmaps are immutable by
+	// contract, so no defensive copy.
+	return acc
+}
+
+// OrAll unions the given bitmaps.
+func OrAll(bms []*Bitmap) *Bitmap {
+	acc := NewBitmap()
+	for _, bm := range bms {
+		acc = Or(acc, bm)
+	}
+	return acc
+}
+
+// Threshold returns the values present in at least minMatch of the
+// given bitmaps (the T-of-N query mode). minMatch is clamped to
+// [1, len(bms)]; counting runs per 2^16-value chunk with a reusable
+// tally array, so each chunk costs the sum of its containers'
+// cardinalities plus one sweep.
+func Threshold(bms []*Bitmap, minMatch int) *Bitmap {
+	if len(bms) == 0 {
+		return NewBitmap()
+	}
+	if minMatch < 1 {
+		minMatch = 1
+	}
+	if minMatch > len(bms) {
+		return NewBitmap()
+	}
+	if minMatch == 1 {
+		return OrAll(bms)
+	}
+	// Gather the union of keys, then tally per key.
+	keySet := map[uint64]struct{}{}
+	for _, bm := range bms {
+		for _, k := range bm.keys {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]uint64, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	out := NewBitmap()
+	var counts [1 << 16]uint16
+	for _, key := range keys {
+		clear(counts[:])
+		present := 0
+		for _, bm := range bms {
+			if i, ok := bm.keyIndex(key); ok {
+				present++
+				bm.cs[i].iterate(func(low uint16) bool {
+					counts[low]++
+					return true
+				})
+			}
+		}
+		if present < minMatch {
+			continue
+		}
+		c := &container{}
+		for v := 0; v < 1<<16; v++ {
+			if int(counts[v]) >= minMatch {
+				c.array = append(c.array, uint16(v))
+			}
+		}
+		c.card = len(c.array)
+		if c.card == 0 {
+			continue
+		}
+		if c.card > arrayMaxCard {
+			c.toWords()
+		}
+		out.keys = append(out.keys, key)
+		out.cs = append(out.cs, c)
+		out.card += c.card
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBudget bounds decoded posting residency when the caller
+// passes a non-positive budget.
+const DefaultCacheBudget = 32 << 20
+
+// Cache is the memory-budgeted LRU over decoded posting lists of
+// disk-backed segments. Residency (the sum of MemBytes of cached
+// bitmaps) NEVER exceeds the budget: inserting evicts from the cold end
+// first, and a posting larger than the entire budget is returned to the
+// caller uncached. Memory-resident segments bypass the cache entirely —
+// their postings are already accounted to the heap.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List // front = hottest; values are *cacheEntry
+	items  map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheKey struct {
+	seg  *Segment
+	term string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	bm   *Bitmap
+	size int64
+}
+
+// NewCache creates a cache holding at most budgetBytes of decoded
+// postings (<= 0 selects DefaultCacheBudget).
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultCacheBudget
+	}
+	return &Cache{
+		budget: budgetBytes,
+		lru:    list.New(),
+		items:  make(map[cacheKey]*list.Element),
+	}
+}
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// CacheStats is a point-in-time snapshot for tests and introspection.
+type CacheStats struct {
+	Budget    int64
+	Bytes     int64
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Budget:    c.budget,
+		Bytes:     c.bytes,
+		Entries:   c.lru.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Get returns the posting list for term in seg, consulting the cache
+// for disk-backed segments. Returns nil for terms the segment does not
+// contain. The load happens under the cache lock: concurrent searches
+// for the same cold posting decode it once, and the residency invariant
+// holds at every instant (never budget + in-flight duplicates).
+func (c *Cache) Get(seg *Segment, term string) (*Bitmap, error) {
+	if seg.mem != nil {
+		return seg.mem[term], nil
+	}
+	if _, ok := seg.dict[term]; !ok {
+		return nil, nil
+	}
+	key := cacheKey{seg: seg, term: term}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).bm, nil
+	}
+	c.misses++
+	bm, err := seg.loadPosting(term)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(bm.MemBytes())
+	if size > c.budget {
+		// Oversized posting: serve it uncached rather than blow the
+		// budget or thrash the whole cache for one entry.
+		return bm, nil
+	}
+	for c.bytes+size > c.budget {
+		cold := c.lru.Back()
+		if cold == nil {
+			break
+		}
+		ent := cold.Value.(*cacheEntry)
+		c.lru.Remove(cold)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+		c.evictions++
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, bm: bm, size: size})
+	c.bytes += size
+	return bm, nil
+}
+
+// DropSegment evicts every cached posting of seg (segment close or
+// replacement).
+func (c *Cache) DropSegment(seg *Segment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.seg == seg {
+			c.lru.Remove(el)
+			delete(c.items, ent.key)
+			c.bytes -= ent.size
+			c.evictions++
+		}
+		el = next
+	}
+}

@@ -1,0 +1,479 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+)
+
+// Disk segment layout (little-endian where fixed-width, uvarint
+// elsewhere), the SaveFile-style length-prefixed shape of the store's
+// record files applied to an index:
+//
+//	8 bytes  magic "ROARSEG1"
+//	uvarint  docCount
+//	docIDs   first absolute, then uvarint deltas (strictly increasing)
+//	uvarint  termCount
+//	dict     termCount entries, terms strictly increasing:
+//	           uvarint termLen, term bytes
+//	           uvarint cardinality
+//	           uvarint postingSize (encoded bitmap byte length)
+//	blobs    postings concatenated in dict order, each postingSize bytes
+//
+// The header (docIDs + dict) is what OpenFile keeps resident; posting
+// blobs are ReadAt on demand through the cache. Bitmap encoding:
+//
+//	uvarint  containerCount
+//	per container (keys strictly increasing):
+//	  uvarint key
+//	  byte    form: 0 array, 1 words
+//	  uvarint cardinality
+//	  array:  cardinality × uint16 LE   (1 ≤ card ≤ 4096)
+//	  words:  8192 bytes                (card = popcount > 4096)
+//
+// Decoders are strict — trailing bytes, unsorted keys or values,
+// non-canonical container forms, and count/size mismatches are all
+// rejected — and allocation is bounded by the input length, so a
+// corrupt or adversarial segment cannot provoke huge allocations
+// (FuzzDecodeSegment leans on both properties).
+
+var segMagic = [8]byte{'R', 'O', 'A', 'R', 'S', 'E', 'G', '1'}
+
+// --- encoding ---
+
+// AppendBitmap appends b's encoding to buf.
+func AppendBitmap(buf []byte, b *Bitmap) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b.keys)))
+	for i, key := range b.keys {
+		c := b.cs[i]
+		buf = binary.AppendUvarint(buf, key)
+		if c.words != nil {
+			buf = append(buf, 1)
+			buf = binary.AppendUvarint(buf, uint64(c.card))
+			for _, w := range c.words {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			continue
+		}
+		buf = append(buf, 0)
+		buf = binary.AppendUvarint(buf, uint64(c.card))
+		for _, v := range c.array {
+			buf = binary.LittleEndian.AppendUint16(buf, v)
+		}
+	}
+	return buf
+}
+
+// WriteSegment writes a memory-resident segment in the disk layout.
+func WriteSegment(w io.Writer, s *Segment) error {
+	if s.mem == nil {
+		return fmt.Errorf("index: cannot write disk-backed segment %s (postings not resident)", s.name)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(segMagic[:]); err != nil {
+		return err
+	}
+	var scratch []byte
+	scratch = binary.AppendUvarint(scratch, uint64(len(s.docIDs)))
+	prev := uint64(0)
+	for i, id := range s.docIDs {
+		if i == 0 {
+			scratch = binary.AppendUvarint(scratch, id)
+		} else {
+			scratch = binary.AppendUvarint(scratch, id-prev)
+		}
+		prev = id
+	}
+	scratch = binary.AppendUvarint(scratch, uint64(len(s.terms)))
+	// Encode postings once to learn their sizes for the dictionary.
+	blobs := make([][]byte, len(s.terms))
+	for i, t := range s.terms {
+		blobs[i] = AppendBitmap(nil, s.mem[t])
+		scratch = binary.AppendUvarint(scratch, uint64(len(t)))
+		scratch = append(scratch, t...)
+		scratch = binary.AppendUvarint(scratch, uint64(s.dict[t].card))
+		scratch = binary.AppendUvarint(scratch, uint64(len(blobs[i])))
+	}
+	if _, err := bw.Write(scratch); err != nil {
+		return err
+	}
+	for _, blob := range blobs {
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes a memory-resident segment to path.
+func SaveFile(path string, s *Segment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: creating %s: %w", path, err)
+	}
+	if err := WriteSegment(f, s); err != nil {
+		f.Close()
+		return fmt.Errorf("index: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// EncodeSegment renders a memory-resident segment as one byte slice
+// (tests and the fuzz seed corpus).
+func EncodeSegment(s *Segment) ([]byte, error) {
+	var buf writerBuf
+	if err := WriteSegment(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// --- decoding ---
+
+// segReader is a bounds-checked cursor (same discipline as the proto
+// body codecs: fail once, stay failed, finish() surfaces it).
+type segReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *segReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("index: truncated or corrupt %s", what)
+	}
+}
+
+func (r *segReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *segReader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *segReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.fail(what)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// count guards a declared element count against the bytes present.
+func (r *segReader) count(what string, minBytes int) int {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64((len(r.data)-r.off)/minBytes+1) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+// decodeBitmapInto parses one bitmap from the cursor.
+func decodeBitmapInto(r *segReader) *Bitmap {
+	// A container costs at least key(1) + form(1) + card(1) + 2 bytes.
+	n := r.count("bitmap containers", 5)
+	b := NewBitmap()
+	prevKey := uint64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.uvarint("container key")
+		if i > 0 && key <= prevKey {
+			r.fail("container key order")
+			return nil
+		}
+		prevKey = key
+		form := r.byte("container form")
+		card := int(r.uvarint("container cardinality"))
+		var c *container
+		switch form {
+		case 0:
+			if card < 1 || card > arrayMaxCard {
+				r.fail("array container cardinality")
+				return nil
+			}
+			raw := r.take(2*card, "array container values")
+			if r.err != nil {
+				return nil
+			}
+			arr := make([]uint16, card)
+			prev := -1
+			for j := range arr {
+				v := binary.LittleEndian.Uint16(raw[2*j:])
+				if int(v) <= prev {
+					r.fail("array container value order")
+					return nil
+				}
+				prev = int(v)
+				arr[j] = v
+			}
+			c = &container{array: arr, card: card}
+		case 1:
+			raw := r.take(containerWords*8, "words container payload")
+			if r.err != nil {
+				return nil
+			}
+			words := make([]uint64, containerWords)
+			got := 0
+			for j := range words {
+				words[j] = binary.LittleEndian.Uint64(raw[8*j:])
+				got += bits.OnesCount64(words[j])
+			}
+			if got != card || card <= arrayMaxCard {
+				// card ≤ 4096 must be array form (canonical encoding).
+				r.fail("words container cardinality")
+				return nil
+			}
+			c = &container{words: words, card: card}
+		default:
+			r.fail("container form byte")
+			return nil
+		}
+		b.keys = append(b.keys, key)
+		b.cs = append(b.cs, c)
+		b.card += c.card
+	}
+	if r.err != nil {
+		return nil
+	}
+	return b
+}
+
+// DecodeBitmap parses one encoded bitmap, rejecting trailing bytes.
+func DecodeBitmap(data []byte) (*Bitmap, error) {
+	r := &segReader{data: data}
+	b := decodeBitmapInto(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("index: %d trailing bytes after bitmap", len(r.data)-r.off)
+	}
+	return b, nil
+}
+
+// decodeHeader parses magic, docIDs, and the dictionary, returning a
+// segment whose postingInfo offsets are absolute. The cursor is left at
+// the first posting blob.
+func decodeHeader(r *segReader, name string) *Segment {
+	magic := r.take(8, "segment magic")
+	if r.err == nil && string(magic) != string(segMagic[:]) {
+		r.fail("segment magic")
+	}
+	nDocs := r.count("segment docIDs", 1)
+	docIDs := make([]uint64, 0, capDocs(nDocs))
+	prev := uint64(0)
+	for i := 0; i < nDocs && r.err == nil; i++ {
+		v := r.uvarint("segment docID")
+		if i > 0 {
+			v += prev
+			if v <= prev {
+				r.fail("segment docID order")
+				break
+			}
+		}
+		docIDs = append(docIDs, v)
+		prev = v
+	}
+	// A dict entry costs at least termLen(1) + card(1) + size(1).
+	nTerms := r.count("segment terms", 3)
+	s := &Segment{name: name, docIDs: docIDs, dict: make(map[string]postingInfo, capDocs(nTerms))}
+	blobBytes := int64(0)
+	prevTerm := ""
+	for i := 0; i < nTerms && r.err == nil; i++ {
+		tl := int(r.uvarint("term length"))
+		term := string(r.take(tl, "term bytes"))
+		if r.err != nil {
+			break
+		}
+		if i > 0 && term <= prevTerm {
+			r.fail("term order")
+			break
+		}
+		prevTerm = term
+		card := int(r.uvarint("term cardinality"))
+		size := int(r.uvarint("posting size"))
+		if r.err != nil {
+			break
+		}
+		if card < 0 || size < 0 {
+			r.fail("dict entry")
+			break
+		}
+		s.terms = append(s.terms, term)
+		s.dict[term] = postingInfo{off: blobBytes, size: size, card: card}
+		blobBytes += int64(size)
+	}
+	if r.err != nil {
+		return nil
+	}
+	// Rebase offsets to the end of the header.
+	base := int64(r.off)
+	for t, info := range s.dict {
+		info.off += base
+		s.dict[t] = info
+	}
+	return s
+}
+
+// capDocs bounds up-front slice allocation for decoded counts.
+func capDocs(n int) int {
+	const maxHint = 4096
+	if n > maxHint {
+		return maxHint
+	}
+	return n
+}
+
+// DecodeSegment parses a complete segment image into a memory-resident
+// segment, validating every posting (cardinality and size must match
+// the dictionary) and rejecting trailing bytes. OpenFile is the
+// lazy-loading production path; this is the oracle the fuzzer drives.
+func DecodeSegment(data []byte) (*Segment, error) {
+	r := &segReader{data: data}
+	s := decodeHeader(r, "<bytes>")
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.mem = make(map[string]*Bitmap, len(s.terms))
+	for _, t := range s.terms {
+		info := s.dict[t]
+		blob := r.take(info.size, "posting blob")
+		if r.err != nil {
+			return nil, r.err
+		}
+		bm, err := DecodeBitmap(blob)
+		if err != nil {
+			return nil, fmt.Errorf("index: posting %q: %w", t, err)
+		}
+		if bm.Cardinality() != info.card {
+			return nil, fmt.Errorf("index: posting %q cardinality %d != dict %d", t, bm.Cardinality(), info.card)
+		}
+		// Ordinals must stay inside the doc table.
+		if n := len(s.docIDs); bm.card > 0 && maxValue(bm) >= uint64(n) {
+			return nil, fmt.Errorf("index: posting %q ordinal %d outside doc table (%d docs)", t, maxValue(bm), n)
+		}
+		s.mem[t] = bm
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("index: %d trailing bytes after segment", len(r.data)-r.off)
+	}
+	return s, nil
+}
+
+// maxValue returns the largest value in a non-empty bitmap.
+func maxValue(b *Bitmap) uint64 {
+	if len(b.keys) == 0 {
+		return 0
+	}
+	c := b.cs[len(b.cs)-1]
+	base := b.keys[len(b.keys)-1] << 16
+	if c.words != nil {
+		for w := containerWords - 1; w >= 0; w-- {
+			if c.words[w] != 0 {
+				return base | uint64(w<<6+63-bits.LeadingZeros64(c.words[w]))
+			}
+		}
+	}
+	return base | uint64(c.array[len(c.array)-1])
+}
+
+// OpenFile opens a disk segment: the header (doc table + dictionary) is
+// parsed and kept resident, posting blobs stay on disk behind ReadAt.
+func OpenFile(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("index: stat %s: %w", path, err)
+	}
+	// The header is a small prefix; read it in growing chunks until the
+	// dictionary parses (the parse tells us where it ends).
+	s, hdrLen, derr := openHeader(f, st.Size(), path)
+	if derr != nil {
+		f.Close()
+		return nil, derr
+	}
+	// Validate the blob region length against the file size.
+	blobBytes := int64(0)
+	for _, info := range s.dict {
+		if end := info.off + int64(info.size); end > st.Size() {
+			f.Close()
+			return nil, fmt.Errorf("index: %s: posting blob past end of file", path)
+		}
+		blobBytes += int64(info.size)
+	}
+	if hdrLen+blobBytes != st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("index: %s: %d trailing bytes after segment", path, st.Size()-hdrLen-blobBytes)
+	}
+	s.src = f
+	s.closer = f
+	return s, nil
+}
+
+// openHeader reads and parses the segment header from the front of the
+// file, growing the read window until the parse fits.
+func openHeader(f *os.File, size int64, path string) (*Segment, int64, error) {
+	chunk := int64(1 << 16)
+	for {
+		if chunk > size {
+			chunk = size
+		}
+		buf := make([]byte, chunk)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return nil, 0, fmt.Errorf("index: reading %s: %w", path, err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, 0, err
+		}
+		r := &segReader{data: buf}
+		s := decodeHeader(r, path)
+		if r.err == nil {
+			return s, int64(r.off), nil
+		}
+		if chunk == size {
+			return nil, 0, fmt.Errorf("index: %s: %w", path, r.err)
+		}
+		chunk *= 4
+	}
+}

@@ -1,0 +1,38 @@
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased terms on any non-alphanumeric
+// rune — the build-time analyzer for the plaintext workload. Query
+// terms must be produced by the same analyzer to match.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Ngrams returns the distinct character n-grams of term, for
+// substring-style matching: index Ngrams(term, n) at build time and
+// intersect Ngrams(pattern, n) at query time (candidates still need a
+// verification pass — n-gram intersection over-approximates substring
+// containment). Terms shorter than n yield the term itself so short
+// tokens stay findable.
+func Ngrams(term string, n int) []string {
+	if n <= 0 || len(term) <= n {
+		return []string{term}
+	}
+	seen := make(map[string]struct{}, len(term)-n+1)
+	out := make([]string, 0, len(term)-n+1)
+	for i := 0; i+n <= len(term); i++ {
+		g := term[i : i+n]
+		if _, ok := seen[g]; ok {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roar/internal/index"
 	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/ring"
@@ -33,6 +34,10 @@ type Config struct {
 	// request parsing — the fixed overheads of §2 that do not depend on
 	// data size and cap throughput as p grows). Zero disables it.
 	FixedQueryCost time.Duration
+	// Index, when non-nil, serves plaintext queries (QueryReq.Plain)
+	// through the roaring-bitmap data plane alongside the PPS scan.
+	// SetIndex attaches one after construction.
+	Index *index.Index
 }
 
 // Node is one data server. Create with New, expose with Serve.
@@ -40,6 +45,12 @@ type Node struct {
 	cfg     Config
 	matcher *pps.Matcher
 	store   *store.Store
+
+	// The two data planes behind the common Matcher interface. enc is
+	// always present; plain holds an *indexMatcher (atomically swapped
+	// by SetIndex) or nil when no index is attached.
+	enc   Matcher
+	plain atomic.Pointer[indexMatcher]
 
 	queries   atomic.Int64
 	scanned   atomic.Int64
@@ -60,12 +71,41 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MatchThreads <= 0 {
 		cfg.MatchThreads = 1
 	}
-	return &Node{cfg: cfg, matcher: m, store: store.New(), started: time.Now()}, nil
+	n := &Node{cfg: cfg, matcher: m, store: store.New(), started: time.Now()}
+	n.enc = &storeMatcher{
+		store:         n.store,
+		matcher:       m,
+		threads:       cfg.MatchThreads,
+		batchSize:     cfg.BatchSize,
+		objectsPerSec: cfg.ObjectsPerSec,
+	}
+	if cfg.Index != nil {
+		n.SetIndex(cfg.Index)
+	}
+	return n, nil
 }
 
 // Store exposes the underlying record store (tests and in-process
 // harnesses load data directly through it).
 func (n *Node) Store() *store.Store { return n.store }
+
+// SetIndex attaches (or replaces) the plaintext index served for
+// QueryReq.Plain sub-queries. Safe to call while serving.
+func (n *Node) SetIndex(ix *index.Index) {
+	if ix == nil {
+		n.plain.Store(nil)
+		return
+	}
+	n.plain.Store(&indexMatcher{ix: ix})
+}
+
+// Index returns the attached plaintext index, if any.
+func (n *Node) Index() *index.Index {
+	if im := n.plain.Load(); im != nil {
+		return im.ix
+	}
+	return nil
+}
 
 // SetDelay injects d of extra latency into every subsequent Query —
 // a slow-but-alive node, as opposed to a killed one. The sleep honours
@@ -99,25 +139,15 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 			return proto.QueryResp{}, ctx.Err()
 		}
 	}
-	opts := store.MatchOptions{Threads: n.cfg.MatchThreads, BatchSize: n.cfg.BatchSize}
-	if n.cfg.ObjectsPerSec > 0 {
-		perSec := n.cfg.ObjectsPerSec
-		opts.Limiter = func(ctx context.Context, k int) error {
-			// The emulated scan time must abort the moment the caller
-			// cancels (hedge loss, client deadline): a cancelled sub-query
-			// sleeping out its throttle would hold the matching thread
-			// exactly when the frontend has already re-dispatched the work.
-			t := time.NewTimer(time.Duration(float64(k) / perSec * float64(time.Second)))
-			defer t.Stop()
-			select {
-			case <-t.C:
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+	m := n.enc
+	if req.Plain != nil {
+		im := n.plain.Load()
+		if im == nil {
+			return proto.QueryResp{}, ErrNoIndex
 		}
+		m = im
 	}
-	ids, scanned, err := n.store.MatchArc(ctx, n.matcher, req.Q, ring.Norm(req.Lo), ring.Norm(req.Hi), opts)
+	ids, scanned, err := m.MatchArc(ctx, req, ring.Norm(req.Lo), ring.Norm(req.Hi))
 	if err != nil {
 		if ctx.Err() != nil {
 			n.canceled.Add(1)

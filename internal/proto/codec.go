@@ -211,7 +211,10 @@ func (r *reader) ids(what string) []uint64 {
 
 // --- QueryReq ---
 
-// AppendWire implements wire.WireAppender.
+// AppendWire implements wire.WireAppender. A plaintext index query
+// rides a trailing extension block (same mixed-version contract as
+// HealthReport's autoscale block): encrypted-only requests encode
+// byte-identically to the pre-extension format.
 func (q QueryReq) AppendWire(b []byte) []byte {
 	b = binary.AppendUvarint(b, q.QID)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(q.Lo))
@@ -225,10 +228,23 @@ func (q QueryReq) AppendWire(b []byte) []byte {
 			b = append(b, x...)
 		}
 	}
+	if q.Plain == nil {
+		return b
+	}
+	b = append(b, q.Plain.Mode)
+	b = appendZigzag(b, int64(q.Plain.MinMatch))
+	b = appendZigzag(b, int64(q.Plain.Limit))
+	b = binary.AppendUvarint(b, uint64(len(q.Plain.Terms)))
+	for _, t := range q.Plain.Terms {
+		b = binary.AppendUvarint(b, uint64(len(t)))
+		b = append(b, t...)
+	}
 	return b
 }
 
-// DecodeWire implements wire.WireDecoder.
+// DecodeWire implements wire.WireDecoder. Accepts both the base
+// encoding (Plain stays nil) and the extended one, signalled purely by
+// trailing bytes after the base fields.
 func (q *QueryReq) DecodeWire(data []byte) error {
 	r := &reader{data: data}
 	q.QID = r.uvarint("QueryReq.QID")
@@ -249,6 +265,20 @@ func (q *QueryReq) DecodeWire(data []byte) error {
 				td = append(td, r.bytes("QueryReq.Trapdoor element"))
 			}
 			q.Q.Preds = append(q.Q.Preds, pps.BloomQuery{Trapdoor: td})
+		}
+	}
+	q.Plain = nil
+	if r.err == nil && r.off < len(r.data) {
+		p := &PlainQuery{}
+		p.Mode = r.byte("PlainQuery.Mode")
+		p.MinMatch = int(r.zigzag("PlainQuery.MinMatch"))
+		p.Limit = int(r.zigzag("PlainQuery.Limit"))
+		nTerms := r.count("PlainQuery.Terms", 1)
+		for i := 0; i < nTerms && r.err == nil; i++ {
+			p.Terms = append(p.Terms, string(r.bytes("PlainQuery term")))
+		}
+		if r.err == nil {
+			q.Plain = p
 		}
 	}
 	return r.finish("QueryReq")

@@ -52,6 +52,10 @@ func TestBinaryCodecGoldenRoundTrip(t *testing.T) {
 	}{
 		{"QueryReq", testQueryReq(3, 4), &QueryReq{}},
 		{"QueryReq/empty", QueryReq{}, &QueryReq{}},
+		{"QueryReq/plain", QueryReq{QID: 9, Lo: 0.25, Hi: 0.75, Plain: &PlainQuery{
+			Terms: []string{"alpha", "beta", "gamma"}, Mode: 2, MinMatch: 2, Limit: 10,
+		}}, &QueryReq{}},
+		{"QueryReq/plain-or", QueryReq{Plain: &PlainQuery{Terms: []string{"x"}, Mode: 1}}, &QueryReq{}},
 		{"QueryResp", QueryResp{IDs: sortedIDs, Scanned: 5000, MatchNanos: 123456789, QueueDepth: 3}, &QueryResp{}},
 		{"QueryResp/unsorted", QueryResp{IDs: unsortedIDs, Scanned: 1}, &QueryResp{}},
 		{"QueryResp/empty", QueryResp{}, &QueryResp{}},
@@ -249,6 +253,50 @@ func TestDecodeCorruptCountBounded(t *testing.T) {
 	var p2 PutReq
 	if err := p2.DecodeWire(body); err == nil {
 		t.Fatal("PutReq with truncated record stream must error")
+	}
+}
+
+// TestQueryReqPlainMixedVersion pins the mixed-version contract of the
+// plaintext-query extension, mirroring the HealthReport autoscale
+// block:
+//
+//  1. an encrypted-only request (Plain == nil) encodes byte-identically
+//     to the pre-extension format — old nodes keep decoding it,
+//  2. a plain request is that base encoding plus trailing bytes (what an
+//     old node's strict decoder rejects, surfacing as a sub-query
+//     failure instead of a silent wrong answer),
+//  3. the new decoder leaves Plain nil on base-format bytes.
+func TestQueryReqPlainMixedVersion(t *testing.T) {
+	enc := testQueryReq(2, 3)
+	base := enc.AppendWire(nil)
+
+	plain := enc
+	plain.Plain = &PlainQuery{Terms: []string{"alpha", "beta"}, Mode: 0, Limit: 5}
+	ext := plain.AppendWire(nil)
+
+	if len(ext) <= len(base) {
+		t.Fatalf("plain encoding (%dB) not longer than base (%dB)", len(ext), len(base))
+	}
+	if string(ext[:len(base)]) != string(base) {
+		t.Fatal("plain encoding does not extend the base encoding byte-for-byte")
+	}
+	var dec QueryReq
+	if err := dec.DecodeWire(base); err != nil {
+		t.Fatalf("base decode: %v", err)
+	}
+	if dec.Plain != nil {
+		t.Fatal("base-format bytes decoded with non-nil Plain")
+	}
+	var dec2 QueryReq
+	if err := dec2.DecodeWire(ext); err != nil {
+		t.Fatalf("extended decode: %v", err)
+	}
+	if dec2.Plain == nil || len(dec2.Plain.Terms) != 2 || dec2.Plain.Limit != 5 {
+		t.Fatalf("extended decode lost the plain query: %+v", dec2.Plain)
+	}
+	// Truncating the extension mid-way must error, not decode partially.
+	if err := new(QueryReq).DecodeWire(ext[:len(base)+2]); err == nil {
+		t.Fatal("truncated extension block accepted")
 	}
 }
 

@@ -41,12 +41,28 @@ type LoadResp struct {
 	Records int `json:"records"`
 }
 
+// PlainQuery is the plaintext index query shape (the non-encrypted
+// workload served by internal/index): match documents containing the
+// terms under the given combine mode, returning at most Limit of the
+// numerically-smallest ids per arc. Mode values mirror index.Mode:
+// 0 = AND, 1 = OR, 2 = at-least-MinMatch threshold.
+type PlainQuery struct {
+	Terms    []string `json:"terms"`
+	Mode     uint8    `json:"mode,omitempty"`
+	MinMatch int      `json:"min_match,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
 // FEQueryReq is a client query to a frontend. Priority selects the
 // admission class: 0 is normal, negative is sheddable (rejected first
-// when the frontend is overloaded), positive is never shed.
+// when the frontend is overloaded), positive is never shed. Exactly one
+// of Q / Plain is the payload: when Plain is non-nil the frontend
+// routes the query to the nodes' plaintext index matcher instead of the
+// PPS encrypted scan.
 type FEQueryReq struct {
-	Q        pps.Query `json:"q"`
-	Priority int       `json:"priority,omitempty"`
+	Q        pps.Query   `json:"q"`
+	Priority int         `json:"priority,omitempty"`
+	Plain    *PlainQuery `json:"plain,omitempty"`
 }
 
 // FEQueryResp is the frontend's answer.
@@ -67,6 +83,15 @@ type QueryReq struct {
 	Lo  float64   `json:"lo"`
 	Hi  float64   `json:"hi"`
 	Q   pps.Query `json:"q"`
+
+	// Plain, when non-nil, selects the node's plaintext index matcher
+	// instead of the PPS encrypted scan; Q is ignored. On the binary
+	// codec it rides a trailing extension block emitted only when set,
+	// so an encrypted-only request is byte-identical to the
+	// pre-extension encoding and old nodes keep decoding it; an old
+	// node receiving a plain query rejects the trailing bytes, which
+	// surfaces as a normal sub-query failure on the frontend.
+	Plain *PlainQuery `json:"plain,omitempty"`
 }
 
 // QueryResp carries the matching object ids.

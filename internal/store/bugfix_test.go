@@ -1,0 +1,189 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roar/internal/pps"
+	"roar/internal/ring"
+)
+
+// tailClear reports whether every slot of the backing array past
+// len(s.recs) (up to oldLen, the length before the shrink) has been
+// zeroed. A non-nil Filter there means a dropped record's blob is still
+// pinned by the backing array.
+func tailClear(t *testing.T, s *Store, oldLen int) {
+	t.Helper()
+	tail := s.recs[len(s.recs):oldLen]
+	for i, r := range tail {
+		if r.ID != 0 || r.Filter != nil || r.Nonce != nil {
+			t.Fatalf("backing-array slot %d past len still holds record %d (blob pinned)", len(s.recs)+i, r.ID)
+		}
+	}
+}
+
+// TestDeleteClearsTail: both Delete paths must zero the slots they free
+// so removed records' encrypted blobs become garbage-collectable.
+func TestDeleteClearsTail(t *testing.T) {
+	recs, _ := testRecords(t, 40)
+	s := New()
+	s.Insert(recs...)
+	oldLen := len(s.recs)
+
+	// Single-id fast path.
+	s.Delete(recs[5].ID)
+	tailClear(t, s, oldLen)
+
+	// Batch path, including absent and duplicate ids.
+	s.Delete(recs[10].ID, recs[11].ID, recs[10].ID, ^uint64(0), recs[30].ID)
+	tailClear(t, s, oldLen)
+	if want := oldLen - 4; s.Len() != want {
+		t.Fatalf("Len = %d, want %d", s.Len(), want)
+	}
+}
+
+// TestDeleteBatchMatchesPerRecord: the one-pass batch compaction must
+// agree with per-id deletion for random id sets (present, absent, and
+// duplicated ids alike).
+func TestDeleteBatchMatchesPerRecord(t *testing.T) {
+	recs, _ := testRecords(t, 200)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		one, batch := New(), New()
+		one.Insert(recs...)
+		batch.Insert(recs...)
+		var ids []uint64
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(3) {
+			case 0: // present
+				ids = append(ids, recs[rng.Intn(len(recs))].ID)
+			case 1: // likely absent
+				ids = append(ids, rng.Uint64())
+			default: // duplicate of an earlier pick
+				if len(ids) > 0 {
+					ids = append(ids, ids[rng.Intn(len(ids))])
+				}
+			}
+		}
+		for _, id := range ids {
+			one.Delete(id)
+		}
+		batch.Delete(ids...)
+		if one.Len() != batch.Len() {
+			t.Fatalf("trial %d: per-record Len %d != batch Len %d", trial, one.Len(), batch.Len())
+		}
+		a := one.InArc(0.5, 0.5)
+		b := batch.InArc(0.5, 0.5)
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("trial %d: record %d diverges: %d vs %d", trial, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+}
+
+// TestRetainStoredClearsTail: the §4.5 replica drop must zero the
+// compaction tail — a node that just shrank its stored set should not
+// keep every dropped replica's blob reachable.
+func TestRetainStoredClearsTail(t *testing.T) {
+	recs, _ := testRecords(t, 100)
+	s := New()
+	s.Insert(recs...)
+	oldLen := len(s.recs)
+	dropped := s.RetainStored(ring.NewArc(0.5, 0.1), 5)
+	if dropped == 0 {
+		t.Fatal("test needs a retain that actually drops records")
+	}
+	tailClear(t, s, oldLen)
+}
+
+// TestArcPartitionExactlyOnce is the PointOf/IDOf boundary property the
+// frontend's correctness rests on: when the ring is partitioned into
+// arcs whose endpoints all round through the same IDOf, every stored id
+// must land in exactly one arc — no double-counting at a shared
+// boundary, no id falling into the float-rounding gap between adjacent
+// sub-queries. Ids are placed adversarially at IDOf(boundary)-1 /
+// exact / +1 in addition to random ones.
+func TestArcPartitionExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(6) // partitions
+		bounds := make([]ring.Point, 0, k)
+		seen := map[ring.Point]bool{}
+		for len(bounds) < k {
+			var p ring.Point
+			switch rng.Intn(4) {
+			case 0: // a point that is itself a rounded id position
+				p = PointOf(rng.Uint64())
+			case 1: // near the wrap
+				p = ring.Norm(rng.Float64() * 1e-9)
+			default:
+				p = ring.Point(rng.Float64())
+			}
+			if !seen[p] {
+				seen[p] = true
+				bounds = append(bounds, p)
+			}
+		}
+		sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+
+		s := New()
+		want := map[uint64]bool{}
+		add := func(id uint64) {
+			if !want[id] {
+				want[id] = true
+				s.Insert(pps.Encoded{ID: id})
+			}
+		}
+		add(0)
+		add(math.MaxUint64)
+		for _, b := range bounds {
+			id := IDOf(b)
+			add(id)
+			if id > 0 {
+				add(id - 1)
+			}
+			if id < math.MaxUint64 {
+				add(id + 1)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			add(rng.Uint64())
+		}
+
+		count := map[uint64]int{}
+		for i := range bounds {
+			lo := bounds[i]
+			hi := bounds[(i+1)%len(bounds)]
+			for _, r := range s.InArc(lo, hi) {
+				count[r.ID]++
+			}
+		}
+		for id := range want {
+			if count[id] != 1 {
+				t.Fatalf("trial %d (bounds %v): id %d (point %v) assigned to %d partitions, want exactly 1",
+					trial, bounds, id, PointOf(id), count[id])
+			}
+		}
+	}
+}
+
+// BenchmarkDeleteBatch contrasts the one-pass compaction against what
+// per-id deletion costs at repartition scale.
+func BenchmarkDeleteBatch(b *testing.B) {
+	recs, _ := testRecords(b, 5000)
+	ids := make([]uint64, 0, len(recs)/2)
+	for i := 0; i < len(recs); i += 2 {
+		ids = append(ids, recs[i].ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New()
+		s.Insert(recs...)
+		b.StartTimer()
+		s.Delete(ids...)
+	}
+}

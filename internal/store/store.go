@@ -134,16 +134,44 @@ func (s *Store) mergeLocked(recs []pps.Encoded) {
 	// Records below i are already in place.
 }
 
-// Delete removes records by id; absent ids are ignored.
+// Delete removes records by id; absent ids are ignored. A single id
+// takes the binary-search + shift fast path; batches sort the ids and
+// compact the store in one forward pass, so deleting k of n records
+// costs O(k log k + n) instead of one O(n) memmove per id. Freed tail
+// slots are zeroed so the removed records' blobs are GC-eligible.
 func (s *Store) Delete(ids ...uint64) {
+	if len(ids) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, id := range ids {
+	if len(ids) == 1 {
+		id := ids[0]
 		i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].ID >= id })
 		if i < len(s.recs) && s.recs[i].ID == id {
-			s.recs = append(s.recs[:i], s.recs[i+1:]...)
+			copy(s.recs[i:], s.recs[i+1:])
+			clear(s.recs[len(s.recs)-1:])
+			s.recs = s.recs[:len(s.recs)-1]
 		}
+		return
 	}
+	del := append([]uint64(nil), ids...)
+	sort.Slice(del, func(a, b int) bool { return del[a] < del[b] })
+	w := 0
+	j := 0
+	for i := range s.recs {
+		id := s.recs[i].ID
+		for j < len(del) && del[j] < id {
+			j++
+		}
+		if j < len(del) && del[j] == id {
+			continue
+		}
+		s.recs[w] = s.recs[i]
+		w++
+	}
+	clear(s.recs[w:])
+	s.recs = s.recs[:w]
 }
 
 // Get returns the record with the given id.
@@ -252,6 +280,7 @@ func (s *Store) RetainStored(nodeRange ring.Arc, p int) int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	old := s.recs
 	kept := s.recs[:0]
 	dropped := 0
 	for _, r := range s.recs {
@@ -263,6 +292,11 @@ func (s *Store) RetainStored(nodeRange ring.Arc, p int) int {
 			dropped++
 		}
 	}
+	// The compaction left the dropped records' final copies sitting in
+	// the backing array past len(kept); zero them so their encrypted
+	// blobs are garbage-collectable instead of pinned until the next
+	// slice growth.
+	clear(old[len(kept):])
 	s.recs = kept
 	return dropped
 }
