@@ -1,0 +1,216 @@
+// Command roar-lint runs the repo's invariant analyzer suite
+// (roar/internal/analysis/registry) over Go packages.
+//
+// It speaks go vet's -vettool protocol, so the canonical invocation —
+// used by make lint and CI — is:
+//
+//	go build -o bin/roar-lint ./cmd/roar-lint
+//	go vet -vettool=$(pwd)/bin/roar-lint ./...
+//
+// Run directly with package patterns (or no arguments, meaning ./...)
+// it re-executes itself through `go vet -vettool`, which provides
+// correct gc type information and build-cache-driven incrementality
+// for free:
+//
+//	roar-lint ./...
+//
+// Findings print as file:line:col: message [analyzer]; the exit status
+// is non-zero when any finding is reported. Suppressions use
+// //lint:allow <key> directives on or directly above the offending
+// line; see docs/INVARIANTS.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"roar/internal/analysis"
+	"roar/internal/analysis/registry"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet handshake: `-flags` asks for our flag schema (we have
+	// none), `-V=full` asks for a fingerprint that keys vet's result
+	// cache — hash our own executable so rebuilding the tool
+	// invalidates cached results.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(args[0], "-V"):
+			// cmd/go parses this line for its result cache: a "devel"
+			// version must carry a buildID= field.
+			fmt.Printf("roar-lint version devel buildID=%s\n", selfHash())
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runUnit(args[0]))
+		}
+	}
+
+	// Direct invocation: delegate to go vet against ourselves.
+	os.Exit(runSelfVet(args))
+}
+
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func runSelfVet(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roar-lint:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "roar-lint:", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON payload go vet hands each -vettool invocation,
+// one per package in the build graph.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roar-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "roar-lint: parsing vet config:", err)
+		return 1
+	}
+
+	// go vet requires the vetx (fact) output file to exist even though
+	// this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "roar-lint:", err)
+			return 1
+		}
+	}
+	// Dependencies are visited fact-only; with no facts there is
+	// nothing to do. Likewise skip non-module packages and the
+	// generated .test mains.
+	if cfg.VetxOnly || cfg.ModulePath != "roar" || cfg.Standard[cfg.ImportPath] ||
+		strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roar-lint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the gc export data go vet already compiled
+	// for every dependency (cfg.PackageFile), honoring vendor/test
+	// import remappings (cfg.ImportMap).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect via the returned error
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "roar-lint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// The test-augmented variant's import path looks like
+	// "roar/internal/foo [roar/internal/foo.test]"; path-scoped
+	// analyzers want the plain path.
+	path := cfg.ImportPath
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+
+	diags, err := analysis.Run(fset, path, files, pkg, info, registry.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roar-lint:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	return 2 // go vet's "diagnostics reported" status
+}

@@ -70,7 +70,7 @@ func main() {
 			QuarantineDeadline: *qDeadline,
 			Logf:               log.Printf,
 		})
-		as.Start()
+		as.Start(context.Background())
 		defer as.Stop()
 		mode := "active"
 		if *asDryRun {
@@ -113,7 +113,7 @@ func main() {
 		if err := body.Decode(&req); err != nil {
 			return nil, err
 		}
-		recs, err := store.LoadFile(req.Path)
+		recs, err := store.LoadFile(ctx, req.Path)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,151 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repo's
+// invariant suite. The container bakes only the standard toolchain, so
+// instead of importing x/tools the suite defines the same three nouns —
+// Analyzer, Pass, Diagnostic — over go/ast + go/types, and the driver
+// (cmd/roar-lint) speaks the `go vet -vettool` unitchecker protocol
+// directly. Porting an analyzer here to the real framework is a
+// mechanical rename.
+//
+// Each analyzer carries an AllowKey; a finding whose source line (or the
+// line above it) has a `//lint:allow <key>` directive is suppressed, so
+// every sanctioned exception to an invariant is spelled out in the code
+// it excuses. See docs/INVARIANTS.md for the catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and documentation.
+	Name string
+	// Doc is the one-paragraph description printed by roar-lint -help.
+	Doc string
+	// AllowKey is the token that suppresses this analyzer's findings in
+	// a //lint:allow directive ("wallclock", "background", ...).
+	AllowKey string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checked package. TypesInfo is
+	// always non-nil when the driver could type-check; analyzers that
+	// can degrade to syntax-only operation should tolerate empty maps.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path (Pkg.Path(), but available even
+	// when type checking failed).
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several invariants (clock injection, context hygiene) bind
+// production code only: tests legitimately use real timers and root
+// contexts.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.Position(pos).Filename
+	return len(f) >= len("_test.go") && f[len(f)-len("_test.go"):] == "_test.go"
+}
+
+// Run executes the analyzers over one type-checked package and returns
+// the surviving (non-suppressed) diagnostics sorted by position. A nil
+// info is tolerated (syntax-only passes still run).
+func Run(fset *token.FileSet, path string, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := collectAllows(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Path:      path,
+			report: func(d Diagnostic) {
+				if !allow.suppressed(fset, d.Pos, a.AllowKey) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// PkgNameOf resolves the package an identifier imports (e.g. the `time`
+// in time.Now), or "" when the ident is not an import reference. Falls
+// back to matching the file's import spec names when type information
+// is unavailable.
+func PkgNameOf(pass *Pass, id *ast.Ident) string {
+	if pass.TypesInfo != nil {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return ""
+		}
+	}
+	// Syntax fallback: find the file holding id and match import names.
+	for _, f := range pass.Files {
+		if f.Pos() <= id.Pos() && id.Pos() <= f.End() {
+			for _, imp := range f.Imports {
+				path := imp.Path.Value
+				path = path[1 : len(path)-1] // unquote
+				name := path
+				if i := lastIndexByte(path, '/'); i >= 0 {
+					name = path[i+1:]
+				}
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				if name == id.Name {
+					return path
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs roar-lint analyzers over fixture packages
+// and diffs reported diagnostics against `// want "regex"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library only.
+//
+// Fixture layout follows the x/tools convention: each analyzer keeps
+// source packages under testdata/src/<pkg>/, and a test calls
+//
+//	analysistest.Run(t, "testdata/src/a", "example.com/a", pkg.Analyzer)
+//
+// Every line expecting a diagnostic carries a trailing
+// `// want "re"` comment (multiple quoted regexps allowed); the run
+// fails on any unmatched diagnostic and any unsatisfied expectation.
+//
+// Fixtures are type-checked with the stdlib source importer, which
+// compiles imported standard-library packages from source — no
+// network, no build cache. The importer is shared process-wide because
+// warming it (time, context, sync) costs a few seconds.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"roar/internal/analysis"
+)
+
+// The shared fileset/importer pair. The source importer caches
+// type-checked stdlib packages keyed by this fileset, so all fixture
+// runs must share it.
+var (
+	mu        sync.Mutex
+	sharedSet = token.NewFileSet()
+	sharedImp = importer.ForCompiler(sharedSet, "source", nil)
+)
+
+// wantRe pulls the quoted regexps out of a want comment — either
+// double-quoted (backslash escapes) or backtick-quoted (raw).
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run analyzes the fixture package rooted at dir (non-recursive) under
+// the given import path and diffs diagnostics against want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedSet, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: sharedImp}
+	pkg, err := cfg.Check(pkgPath, sharedSet, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := sharedSet.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename), line: pos.Line, re: re, raw: pat,
+					})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(sharedSet, pkgPath, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		pos := sharedSet.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package atomicfields flags struct fields that mix sync/atomic access
+// with plain loads or stores. A field read with atomic.LoadInt64 in one
+// place and `s.n++` in another is a data race the race detector only
+// catches when both paths run in the same test; the analyzer catches it
+// at vet time, package-wide. Fields typed atomic.Int64/atomic.Value/...
+// are safe by construction and need no analysis — this pass exists for
+// the plain-integer-plus-atomic-calls pattern. Suppress deliberate
+// unsynchronized access (e.g. a constructor before publication) with
+// //lint:allow atomic.
+package atomicfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"roar/internal/analysis"
+)
+
+// Analyzer is the atomicfields pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfields",
+	AllowKey: "atomic",
+	Doc: "struct fields accessed via sync/atomic functions must never also be accessed " +
+		"with plain loads/stores anywhere in the package",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.TypesInfo == nil || len(pass.TypesInfo.Selections) == 0 {
+		return nil // needs type information to bind fields reliably
+	}
+
+	// Pass 1: every field whose address feeds a sync/atomic call, and
+	// the exact selector nodes used inside those calls.
+	atomicField := map[*types.Var]string{} // field object → atomic func name
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || analysis.PkgNameOf(pass, id) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				fieldSel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pass, fieldSel); fv != nil {
+					atomicField[fv] = sel.Sel.Name
+					inAtomicCall[fieldSel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicField) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector binding one of those fields is a plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fieldSel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[fieldSel] {
+				return true
+			}
+			fv := fieldVar(pass, fieldSel)
+			if fv == nil {
+				return true
+			}
+			if fn, ok := atomicField[fv]; ok {
+				pass.Reportf(fieldSel.Pos(),
+					"plain access to field %s, which is accessed with atomic.%s elsewhere in this package (data race); use sync/atomic consistently or an atomic.%s-style typed field",
+					fv.Name(), fn, properType(fv))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it binds, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// properType suggests the typed-atomic replacement for a field's type.
+func properType(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Int64"
+}

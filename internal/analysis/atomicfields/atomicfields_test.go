@@ -1,0 +1,12 @@
+package atomicfields_test
+
+import (
+	"testing"
+
+	"roar/internal/analysis/analysistest"
+	"roar/internal/analysis/atomicfields"
+)
+
+func TestAtomicFields(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atom", "example.com/atom", atomicfields.Analyzer)
+}

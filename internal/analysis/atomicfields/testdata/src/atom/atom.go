@@ -1,0 +1,36 @@
+// Fixture for mixed atomic/plain field access. The field n is touched
+// through sync/atomic, so every plain access to it is a data race; the
+// typed atomic.Int64 field is safe by construction.
+package atom
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) badRead() int64 {
+	return c.n // want `plain access to field n`
+}
+
+func (c *counter) badWrite() {
+	c.n++ // want `plain access to field n`
+}
+
+func (c *counter) typedOK() int64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func (c *counter) allowedPrePublication() {
+	c.n = 0 //lint:allow atomic — constructor runs before the counter is shared
+}

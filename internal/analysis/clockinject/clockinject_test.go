@@ -1,0 +1,16 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"roar/internal/analysis/analysistest"
+	"roar/internal/analysis/clockinject"
+)
+
+func TestClockInject(t *testing.T) {
+	analysistest.Run(t, "testdata/src/frontend", "example.com/frontend", clockinject.Analyzer)
+}
+
+func TestClockInjectUncoveredPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/other", "example.com/other", clockinject.Analyzer)
+}

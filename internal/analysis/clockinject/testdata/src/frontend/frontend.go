@@ -1,0 +1,35 @@
+// Positive fixture: the package's import path ends in "frontend", so
+// every wall-clock touch must be flagged unless allow-annotated.
+package frontend
+
+import "time"
+
+type ctl struct {
+	now func() time.Time
+}
+
+func bad() time.Time {
+	return time.Now() // want `direct time.Now in injected-clock package`
+}
+
+func badWaits(d time.Duration) {
+	time.Sleep(d)         // want `direct time.Sleep`
+	t := time.NewTimer(d) // want `direct time.NewTimer`
+	defer t.Stop()
+	<-time.After(d) // want `direct time.After`
+}
+
+func badElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `direct time.Since`
+}
+
+func allowedDefault() *ctl {
+	c := &ctl{}
+	c.now = time.Now //lint:allow wallclock — clock-injection default
+	return c
+}
+
+// Pure duration/Time arithmetic never touches the clock and is fine.
+func durationsOK(d time.Duration, t time.Time) time.Time {
+	return t.Add(d * 2)
+}

@@ -1,0 +1,10 @@
+// Negative fixture: "other" is not an injected-clock package, so
+// wall-clock use is unrestricted here.
+package other
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

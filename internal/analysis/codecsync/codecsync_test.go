@@ -1,0 +1,12 @@
+package codecsync_test
+
+import (
+	"testing"
+
+	"roar/internal/analysis/analysistest"
+	"roar/internal/analysis/codecsync"
+)
+
+func TestCodecSync(t *testing.T) {
+	analysistest.Run(t, "testdata/src/codec", "example.com/codec", codecsync.Analyzer)
+}

@@ -1,0 +1,74 @@
+// Package ctxhygiene bans context.Background() and context.TODO() in
+// library code. The dispatch → hedge → repair pipeline only cancels
+// end-to-end because every layer derives from its caller's context; a
+// detached root anywhere in that chain orphans remote work (the wire
+// cancel frame never fires) and turns client disconnects into leaked
+// load. Roots belong at the edges: cmd/ binaries, tests, and the bench
+// and cluster harnesses that stand in for a main function. The rare
+// legitimate in-library root (a connection's lifetime, a process-scoped
+// loop) carries a //lint:allow background directive naming its reason.
+package ctxhygiene
+
+import (
+	"go/ast"
+	"strings"
+
+	"roar/internal/analysis"
+)
+
+// ExemptPaths are packages exempt by role: test harnesses driven only
+// from tests and benches, where the harness IS the main-adjacent edge.
+var ExemptPaths = map[string]bool{
+	"roar/internal/bench":   true,
+	"roar/internal/cluster": true,
+}
+
+// Analyzer is the ctxhygiene pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxhygiene",
+	AllowKey: "background",
+	Doc: "bans context.Background()/context.TODO() outside cmd/, tests, and harness " +
+		"packages so cancellation keeps propagating through dispatch/hedge/repair; " +
+		"annotate legitimate lifetime roots with //lint:allow background",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if ExemptPaths[pass.Path] || isCmdPath(pass.Path) {
+		return nil
+	}
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || analysis.PkgNameOf(pass, id) != "context" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library package %q severs cancellation; thread the caller's context, or annotate a genuine lifetime root with //lint:allow background",
+				sel.Sel.Name, pass.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+func isCmdPath(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}

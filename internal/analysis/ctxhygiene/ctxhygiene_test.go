@@ -1,0 +1,16 @@
+package ctxhygiene_test
+
+import (
+	"testing"
+
+	"roar/internal/analysis/analysistest"
+	"roar/internal/analysis/ctxhygiene"
+)
+
+func TestCtxHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lib", "example.com/lib", ctxhygiene.Analyzer)
+}
+
+func TestCtxHygieneCmdExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cmdtool", "example.com/cmd/tool", ctxhygiene.Analyzer)
+}

@@ -1,0 +1,9 @@
+// Negative fixture: run under the import path "example.com/cmd/tool",
+// which is a cmd/ edge where roots are legitimate.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

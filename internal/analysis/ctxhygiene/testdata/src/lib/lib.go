@@ -1,0 +1,21 @@
+// Positive fixture: a library package must not mint context roots.
+package lib
+
+import "context"
+
+func bad() context.Context {
+	return context.Background() // want `severs cancellation`
+}
+
+func alsoBad() context.Context {
+	return context.TODO() // want `severs cancellation`
+}
+
+func allowedRoot() context.Context {
+	return context.Background() //lint:allow background — process-lifetime root for the fixture
+}
+
+// Deriving from the caller's context is the required shape.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

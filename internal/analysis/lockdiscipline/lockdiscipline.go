@@ -1,0 +1,214 @@
+// Package lockdiscipline enforces the repo's `...Locked` naming
+// contract: a method whose name ends in "Locked" documents that its
+// caller already holds the relevant mutex. Two invariants follow:
+//
+//  1. A ...Locked method must not itself acquire or release a mutex
+//     reachable from its receiver — doing so either deadlocks
+//     (sync.Mutex is not reentrant) or silently drops the caller's
+//     critical section.
+//  2. A call to x.fooLocked() must be made while some lock is held on
+//     the scan path to the call — either the enclosing function is
+//     itself a ...Locked method, or a Lock()/RLock() call precedes the
+//     call site without an intervening non-deferred Unlock.
+//
+// The check is intra-package and syntactic (a linear source-order scan
+// per function body, as promised in the contract's name — it cannot
+// prove lock ownership across goroutines or through aliased pointers).
+// Findings are suppressed with //lint:allow lock.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"strings"
+
+	"roar/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockdiscipline",
+	AllowKey: "lock",
+	Doc: "methods suffixed Locked must not acquire their receiver's mutex, and callers " +
+		"of ...Locked must hold a lock on the (syntactic) path to the call",
+	Run: run,
+}
+
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && name != "Locked"
+}
+
+func isAcquire(name string) bool { return name == "Lock" || name == "RLock" }
+func isRelease(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recvName := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+	locked := isLockedName(fd.Name.Name)
+
+	// Invariant 1: a ...Locked body must not touch the receiver's own
+	// mutex — recv.mu.Lock() or recv.Lock() (embedded). A mutex nested
+	// deeper (recv.health.mu) is a component's separate lock domain,
+	// not the one the Locked suffix refers to. Checked across the whole
+	// body, closures included — a closure spawned by a Locked method
+	// still runs inside (or races with) the caller's critical section.
+	if locked && recvName != "" {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (!isAcquire(sel.Sel.Name) && !isRelease(sel.Sel.Name)) {
+				return true
+			}
+			if isReceiverMutex(sel.X, recvName) {
+				pass.Reportf(call.Pos(),
+					"%s is a ...Locked method but calls %s on its receiver's mutex; the caller already holds it (deadlock or dropped critical section)",
+					fd.Name.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	// Invariant 2: linear-scan each function context (the decl body and
+	// each closure separately) and require a held lock at every
+	// x.fooLocked() call site.
+	scanContext(pass, fd.Body, locked)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// A closure is its own scan context: it may run after the
+			// enclosing critical section ended, so outer locks don't
+			// vouch for it. (Closures that do run under the caller's
+			// lock annotate the call with //lint:allow lock.)
+			scanContext(pass, lit.Body, false)
+		}
+		return true
+	})
+}
+
+// isReceiverMutex reports whether e names the receiver's own mutex:
+// the bare receiver (embedded sync.Mutex) or a direct field of it
+// (recv.mu). Deeper chains (recv.health.mu) are other lock domains.
+func isReceiverMutex(e ast.Expr, recvName string) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name == recvName
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recvName
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing flow (return, break/continue/goto, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanContext walks one function body in source order, tracking how
+// many locks are currently held, and reports ...Locked calls made with
+// none. Nested closures are skipped (scanned separately); deferred
+// Unlocks do not release (they run at return). An if-body that ends by
+// leaving the flow (early-return unlock idiom) is scanned with its own
+// held count so its releases don't leak onto the fall-through path.
+func scanContext(pass *analysis.Pass, body *ast.BlockStmt, inLocked bool) {
+	held := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // separate context
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			walk(x.Cond)
+			if terminates(x.Body) {
+				saved := held
+				walk(x.Body)
+				held = saved
+			} else {
+				walk(x.Body)
+			}
+			if x.Else != nil {
+				walk(x.Else)
+			}
+			return
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: it neither releases here
+			// nor counts as holding. A deferred ...Locked call is checked
+			// against the state at the defer statement (approximation).
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok && isLockedName(sel.Sel.Name) {
+				checkLockedCall(pass, x.Call, sel, held, inLocked)
+			}
+			return
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch {
+				case isAcquire(sel.Sel.Name):
+					held++
+				case isRelease(sel.Sel.Name):
+					if held > 0 {
+						held--
+					}
+				case isLockedName(sel.Sel.Name):
+					checkLockedCall(pass, x, sel, held, inLocked)
+				}
+			}
+		}
+		// Recurse in source order.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c)
+			}
+			return false
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt)
+	}
+}
+
+func checkLockedCall(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr, held int, inLocked bool) {
+	if held > 0 || inLocked {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s without holding a lock on any path to it; ...Locked methods require the caller to hold the receiver's mutex",
+		sel.Sel.Name)
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"roar/internal/analysis/analysistest"
+	"roar/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lock", "example.com/lock", lockdiscipline.Analyzer)
+}

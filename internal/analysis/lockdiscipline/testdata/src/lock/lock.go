@@ -1,0 +1,80 @@
+// Fixture for the ...Locked naming contract, both directions: Locked
+// bodies must not touch the receiver's own mutex, and Locked calls
+// must happen under a held lock.
+package lock
+
+import "sync"
+
+type inner struct {
+	mu sync.Mutex
+}
+
+type box struct {
+	mu    sync.Mutex
+	n     int
+	inner inner
+}
+
+func (b *box) addLocked(d int) { b.n += d }
+
+func (b *box) badLocked() {
+	b.mu.Lock() // want `Locked method but calls Lock on its receiver`
+	b.n++
+	b.mu.Unlock() // want `Locked method but calls Unlock on its receiver`
+}
+
+// A nested component's mutex is a different lock domain; the Locked
+// suffix refers only to the receiver's own lock.
+func (b *box) innerDomainLocked() {
+	b.inner.mu.Lock()
+	b.inner.mu.Unlock()
+}
+
+func (b *box) Add(d int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addLocked(d)
+}
+
+func (b *box) Bad(d int) {
+	b.addLocked(d) // want `without holding a lock`
+}
+
+// A Locked method may call further Locked methods: the caller's hold
+// vouches for the whole chain.
+func (b *box) chainLocked(d int) {
+	b.addLocked(d)
+}
+
+// The early-return unlock idiom must not leak its release onto the
+// fall-through path.
+func (b *box) EarlyReturn(d int) {
+	b.mu.Lock()
+	if d == 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.addLocked(d)
+	b.mu.Unlock()
+}
+
+func (b *box) AfterRelease(d int) {
+	b.mu.Lock()
+	b.addLocked(d)
+	b.mu.Unlock()
+	b.addLocked(d) // want `without holding a lock`
+}
+
+// A closure is its own scan context: it may outlive the enclosing
+// critical section.
+func (b *box) ClosureEscapes() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.addLocked(1) // want `without holding a lock`
+	}()
+}
+
+func (b *box) AllowedCall(d int) {
+	b.addLocked(d) //lint:allow lock — single-goroutine setup phase
+}

@@ -342,4 +342,4 @@ func (c *Cluster) NodeStats(ctx context.Context) []proto.StatsResp {
 
 // WaitSettled gives in-flight background work a moment; used by tests
 // after reconfigurations.
-func (c *Cluster) WaitSettled() { time.Sleep(20 * time.Millisecond) }
+func (c *Cluster) WaitSettled() { time.Sleep(20 * time.Millisecond) } //lint:allow wallclock — real goroutines need real time to settle

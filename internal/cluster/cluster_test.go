@@ -480,6 +480,7 @@ func TestMultipleFrontends(t *testing.T) {
 
 func TestFrontendRejectsWithoutView(t *testing.T) {
 	fe := frontend.New(frontend.Config{})
+	defer fe.Close()
 	enc := pps.NewEncoder(pps.TestKey(1), SlimEncoderConfig())
 	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "x"})
 	if _, err := fe.Execute(context.Background(), q); err == nil {

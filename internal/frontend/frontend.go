@@ -187,6 +187,19 @@ type Frontend struct {
 
 	stop      chan struct{} // stops the background prober
 	closeOnce sync.Once
+	// lifeCtx scopes work owned by the frontend itself (probe RPCs)
+	// rather than by a caller; Close cancels it so in-flight probes
+	// abort instead of running out their timeouts against dead peers.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
+	// Injected clock. All latency measurement and timer arming in the
+	// execute/hedge/probe paths goes through these three so tests can
+	// drive the pipeline on a fake clock; the wall-clock defaults in
+	// New are the package's only sanctioned time touchpoints.
+	nowFn   func() time.Time
+	timerFn func(time.Duration) *time.Timer
+	afterFn func(time.Duration) <-chan time.Time
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -330,6 +343,10 @@ func New(cfg Config) *Frontend {
 		mergeS:    stats.NewSample(0),
 		totalS:    stats.NewSample(0),
 	}
+	f.nowFn = time.Now                                                 //lint:allow wallclock — clock-injection default
+	f.timerFn = time.NewTimer                                          //lint:allow wallclock — clock-injection default
+	f.afterFn = time.After                                             //lint:allow wallclock — clock-injection default
+	f.lifeCtx, f.lifeCancel = context.WithCancel(context.Background()) //lint:allow background — frontend lifetime root, cancelled in Close
 	f.tune = f.baseTuning()
 	f.admit = semaphore(f.tune.maxInFlight)
 	f.workers = semaphore(f.tune.dispatchWorkers)
@@ -467,7 +484,10 @@ func (f *Frontend) View() proto.View {
 
 // Close stops the background prober and shuts all node clients.
 func (f *Frontend) Close() {
-	f.closeOnce.Do(func() { close(f.stop) })
+	f.closeOnce.Do(func() {
+		close(f.stop)
+		f.lifeCancel()
+	})
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, h := range f.nodes {
@@ -558,7 +578,7 @@ func (f *Frontend) ExecutePlain(ctx context.Context, pq proto.PlainQuery) (Resul
 // an admission slot — while the cluster's reported queue depths are
 // over the shed high-water mark.
 func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOptions) (Result, error) {
-	t0 := time.Now()
+	t0 := f.nowFn()
 	if opts.Priority < PriorityNormal && f.overloaded() {
 		f.shed.Add(1)
 		return Result{}, ErrShed
@@ -570,7 +590,7 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 	if admit != nil {
 		var timeout <-chan time.Time
 		if queueTO > 0 {
-			tm := time.NewTimer(queueTO)
+			tm := f.timerFn(queueTO)
 			defer tm.Stop()
 			timeout = tm.C
 		}
@@ -586,10 +606,10 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 			return Result{}, ErrOverloaded
 		}
 	}
-	queueDur := time.Since(t0)
+	queueDur := f.nowFn().Sub(t0)
 	f.queueLat.observe(queueDur)
 
-	tSched := time.Now()
+	tSched := f.nowFn()
 	f.mu.RLock()
 	pl := f.pl
 	pq := f.cfg.PQ
@@ -622,35 +642,35 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 			return Result{}, fmt.Errorf("frontend: repairing plan: %w", err)
 		}
 	}
-	schedDur := time.Since(tSched)
+	schedDur := f.nowFn().Sub(tSched)
 
 	// Dispatch all sub-queries through the shared worker pool with
 	// per-sub timers and hedging, deduplicating into the aggregator as
 	// responses stream in.
-	t1 := time.Now()
+	t1 := f.nowFn()
 	agg := &aggregator{
 		qid:     f.qid.Add(1),
 		seen:    make(map[uint64]struct{}),
 		workers: workers,
 	}
 	f.dispatchAll(ctx, pl, est, spec, plan.Subs, 0, agg)
-	dispatchDur := time.Since(t1)
+	dispatchDur := f.nowFn().Sub(t1)
 
 	// Merge: responses were deduplicated on arrival, so only the final
 	// ordering remains — plus the global top-k cut for limited plaintext
 	// queries (each node returned its arc-local smallest ids; the global
 	// smallest k are a subset of their union).
-	t2 := time.Now()
+	t2 := f.nowFn()
 	ids := agg.ids
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	if spec.Plain != nil && spec.Plain.Limit > 0 && len(ids) > spec.Plain.Limit {
 		ids = ids[:spec.Plain.Limit]
 	}
-	mergeDur := time.Since(t2)
+	mergeDur := f.nowFn().Sub(t2)
 
 	out := Result{
 		IDs:          ids,
-		Delay:        time.Since(t0),
+		Delay:        f.nowFn().Sub(t0),
 		Queue:        queueDur,
 		Schedule:     schedDur,
 		Dispatch:     dispatchDur,
@@ -858,7 +878,7 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 	cctx, cancel := context.WithTimeout(ctx, f.cfg.SubQueryTimeout)
 	defer cancel()
 	req := proto.QueryReq{QID: qid, Lo: float64(sub.Lo), Hi: float64(sub.Hi), Q: spec.Enc, Plain: spec.Plain}
-	start := time.Now()
+	start := f.nowFn()
 	var resp proto.QueryResp
 	// Snapshot the client only now, after the (possibly long) credit and
 	// worker waits: a view-driven pool retune may have swapped it while
@@ -876,7 +896,7 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 	// Successful contact: record health, the node's queue depth, the
 	// latency sample for the adaptive hedge delay, and the speed
 	// estimate (observed fraction/second).
-	elapsed := time.Since(start)
+	elapsed := f.nowFn().Sub(start)
 	h.contactOK(resp.QueueDepth)
 	f.observeLatency(sub.Node, elapsed)
 	if d := elapsed.Seconds(); d > 0 && size > 0 {

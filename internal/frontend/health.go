@@ -361,7 +361,7 @@ func (f *Frontend) probeLoop() {
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(wait):
+		case <-f.afterFn(wait):
 		}
 		if iv < 0 {
 			continue // probing disabled; keep watching for retuning
@@ -395,7 +395,7 @@ func (f *Frontend) probeSuspects(timeout time.Duration) {
 		wg.Add(1)
 		go func(h *handle) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			ctx, cancel := context.WithTimeout(f.lifeCtx, timeout)
 			defer cancel()
 			var pr proto.PingResp
 			if err := h.wireClient().Call(ctx, proto.MNodePing, proto.PingReq{}, &pr); err != nil {

@@ -214,8 +214,8 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	pstart := time.Now()
-	timer := time.NewTimer(hd)
+	pstart := f.nowFn()
+	timer := f.timerFn(hd)
 	defer timer.Stop()
 	select {
 	case r := <-primary:
@@ -314,7 +314,7 @@ func (f *Frontend) sendSubHedged(ctx context.Context, pl *core.Placement, est co
 			// Feed the elapsed time back as a speed lower bound so the
 			// scheduler learns the primary is slow even though its
 			// response was abandoned.
-			f.observeSlow(sub, time.Since(pstart))
+			f.observeSlow(sub, f.nowFn().Sub(pstart))
 			agg.hedgeWon()
 			for _, resp := range hr.resps {
 				agg.add(resp)

@@ -35,7 +35,7 @@ type hedgeBudget struct {
 // newHedgeBudget builds a full bucket. now == nil uses the wall clock.
 func newHedgeBudget(fraction, burst float64, now func() time.Time) *hedgeBudget {
 	if now == nil {
-		now = time.Now
+		now = time.Now //lint:allow wallclock — clock-injection default
 	}
 	b := &hedgeBudget{fraction: fraction, burst: burst, tokens: burst, now: now}
 	b.last = now()

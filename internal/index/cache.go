@@ -3,6 +3,7 @@ package index
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultCacheBudget bounds decoded posting residency when the caller
@@ -22,7 +23,10 @@ type Cache struct {
 	lru    *list.List // front = hottest; values are *cacheEntry
 	items  map[cacheKey]*list.Element
 
-	hits, misses, evictions int64
+	// Counters are typed atomics so Stats can snapshot them without
+	// taking c.mu: a metrics scrape must never queue behind a cold
+	// posting decode holding the lock.
+	hits, misses, evictions atomic.Int64
 }
 
 type cacheKey struct {
@@ -62,18 +66,20 @@ type CacheStats struct {
 	Evictions int64
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters. The hit/miss/eviction counters
+// are read lock-free; only the residency fields take the lock.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Budget:    c.budget,
-		Bytes:     c.bytes,
-		Entries:   c.lru.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
 	}
+	c.mu.Lock()
+	st.Budget = c.budget
+	st.Bytes = c.bytes
+	st.Entries = c.lru.Len()
+	c.mu.Unlock()
+	return st
 }
 
 // Get returns the posting list for term in seg, consulting the cache
@@ -93,11 +99,11 @@ func (c *Cache) Get(seg *Segment, term string) (*Bitmap, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).bm, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	bm, err := seg.loadPosting(term)
 	if err != nil {
 		return nil, err
@@ -117,7 +123,7 @@ func (c *Cache) Get(seg *Segment, term string) (*Bitmap, error) {
 		c.lru.Remove(cold)
 		delete(c.items, ent.key)
 		c.bytes -= ent.size
-		c.evictions++
+		c.evictions.Add(1)
 	}
 	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, bm: bm, size: size})
 	c.bytes += size
@@ -136,7 +142,7 @@ func (c *Cache) DropSegment(seg *Segment) {
 			c.lru.Remove(el)
 			delete(c.items, ent.key)
 			c.bytes -= ent.size
-			c.evictions++
+			c.evictions.Add(1)
 		}
 		el = next
 	}

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentHammer drives Get, Stats, and DropSegment from
+// many goroutines at once over two disk-backed segments. It exists to
+// run under -race: the Stats counters are read lock-free, so any
+// access that slips outside the atomics (or any LRU state touched
+// outside c.mu) surfaces here. It also checks the invariants that
+// survive concurrency — residency never over budget, counters
+// monotonic.
+func TestCacheConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	corpus := genCorpus(rng, 3000, 48, 6)
+	dir := t.TempDir()
+	var disks []*Segment
+	for i := 0; i < 2; i++ {
+		mem := buildSegment(corpus, fmt.Sprintf("seg%d", i))
+		path := filepath.Join(dir, fmt.Sprintf("seg%d.roar", i))
+		if err := SaveFile(path, mem); err != nil {
+			t.Fatal(err)
+		}
+		disk, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close()
+		disks = append(disks, disk)
+	}
+
+	// A tight budget keeps the eviction path hot.
+	cache := NewCache(64 << 10)
+
+	const workers = 8
+	const opsPerWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerWorker; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					st := cache.Stats()
+					if st.Bytes > st.Budget {
+						t.Errorf("residency %d exceeds budget %d", st.Bytes, st.Budget)
+						return
+					}
+				case 1:
+					cache.DropSegment(disks[rng.Intn(len(disks))])
+				default:
+					term := fmt.Sprintf("t%03d", rng.Intn(48))
+					bm, err := cache.Get(disks[rng.Intn(len(disks))], term)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if bm == nil {
+						t.Errorf("posting %q missing", term)
+						return
+					}
+				}
+			}
+		}(int64(w) + 100)
+	}
+	wg.Wait()
+
+	st := cache.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("hammer did no lookups: %+v", st)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("final residency %d exceeds budget %d", st.Bytes, st.Budget)
+	}
+}

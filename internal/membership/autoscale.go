@@ -170,7 +170,7 @@ func (ac AutoscaleConfig) withDefaults() AutoscaleConfig {
 		ac.CostGateFraction = 1.0
 	}
 	if ac.Now == nil {
-		ac.Now = time.Now
+		ac.Now = time.Now //lint:allow wallclock — clock-injection default
 	}
 	return ac
 }
@@ -213,8 +213,11 @@ func (c *Coordinator) NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
 	return a
 }
 
-// Start runs the evaluation loop on the configured interval until Stop.
-func (a *Autoscaler) Start() {
+// Start runs the evaluation loop on the configured interval until the
+// context ends or Stop is called. Each tick's reconfiguration RPCs are
+// scoped to ctx, so cancelling it aborts in-flight retain/drop traffic
+// as well as the loop.
+func (a *Autoscaler) Start(ctx context.Context) {
 	a.mu.Lock()
 	if a.started {
 		a.mu.Unlock()
@@ -223,14 +226,16 @@ func (a *Autoscaler) Start() {
 	a.started = true
 	a.mu.Unlock()
 	go func() {
-		t := time.NewTicker(a.cfg.Interval)
+		t := time.NewTicker(a.cfg.Interval) //lint:allow wallclock — the loop cadence is real time; Step's decisions use the injected cfg.Now
 		defer t.Stop()
 		for {
 			select {
+			case <-ctx.Done():
+				return
 			case <-a.stop:
 				return
 			case <-t.C:
-				a.Step(context.Background())
+				a.Step(ctx)
 			}
 		}
 	}()

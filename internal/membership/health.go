@@ -72,7 +72,7 @@ func (hc HealthConfig) withDefaults() HealthConfig {
 		hc.MaxQuarantineFraction = 0.5
 	}
 	if hc.Now == nil {
-		hc.Now = time.Now
+		hc.Now = time.Now //lint:allow wallclock — clock-injection default
 	}
 	return hc
 }
@@ -90,12 +90,12 @@ type healthState struct {
 	// Autoscale telemetry (the extension fields of HealthReport):
 	// cumulative counters the controller differentiates per tick, plus
 	// latest-value gauges.
-	shedNormalTotal  int64                     // queue-timeout rejections fleet-wide
-	hedgeDeniedTotal int64                     // hedge-budget denials fleet-wide
-	queueWaitP99     map[string]int64          // per-frontend admission-wait p99 gauge (ns)
-	queueWaitAt      map[string]time.Time      // when each frontend's gauge last refreshed
-	depths           map[ring.NodeID]int       // last reported queue depth per node
-	latP99           map[ring.NodeID]int64     // last reported latency p99 per node (ns)
+	shedNormalTotal  int64                 // queue-timeout rejections fleet-wide
+	hedgeDeniedTotal int64                 // hedge-budget denials fleet-wide
+	queueWaitP99     map[string]int64      // per-frontend admission-wait p99 gauge (ns)
+	queueWaitAt      map[string]time.Time  // when each frontend's gauge last refreshed
+	depths           map[ring.NodeID]int   // last reported queue depth per node
+	latP99           map[ring.NodeID]int64 // last reported latency p99 per node (ns)
 }
 
 // feGaugeStaleness expires a frontend's queue-wait gauge when it stops

@@ -58,10 +58,11 @@ func (s *Store) SaveTo(path string) error {
 	return SaveFile(path, recs)
 }
 
-// LoadFile reads every record from a file written by SaveFile.
-func LoadFile(path string) ([]pps.Encoded, error) {
+// LoadFile reads every record from a file written by SaveFile,
+// abandoning the read when ctx ends.
+func LoadFile(ctx context.Context, path string) ([]pps.Encoded, error) {
 	var out []pps.Encoded
-	_, err := StreamFile(context.Background(), path, 1024, func(batch []pps.Encoded) bool {
+	_, err := StreamFile(ctx, path, 1024, func(batch []pps.Encoded) bool {
 		out = append(out, batch...)
 		return true
 	})
@@ -71,9 +72,10 @@ func LoadFile(path string) ([]pps.Encoded, error) {
 	return out, nil
 }
 
-// LoadFrom replaces the store contents from a file.
-func (s *Store) LoadFrom(path string) error {
-	recs, err := LoadFile(path)
+// LoadFrom replaces the store contents from a file, abandoning the
+// read when ctx ends.
+func (s *Store) LoadFrom(ctx context.Context, path string) error {
+	recs, err := LoadFile(ctx, path)
 	if err != nil {
 		return err
 	}

@@ -432,7 +432,7 @@ func TestSaveLoadFile(t *testing.T) {
 	if err := SaveFile(path, recs); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadFile(path)
+	back, err := LoadFile(context.Background(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +456,7 @@ func TestStoreSaveToLoadFrom(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := New()
-	if err := s2.LoadFrom(path); err != nil {
+	if err := s2.LoadFrom(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
 	if s2.Len() != 80 {

@@ -1,0 +1,113 @@
+// Package leakcheck fails a test binary that exits with goroutines
+// still running. The repo is full of lifecycle-owning components —
+// frontend probe loops, wire connection pools, membership pushers,
+// autoscale tickers — whose Close contracts are exactly the kind of
+// thing that regresses silently: a leaked goroutine changes no test
+// assertion, it just accumulates. Wiring
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// into a package makes every test in it a leak test.
+//
+// The checker snapshots all goroutine stacks after the tests pass,
+// filters the runtime's and testing's own machinery, and polls until a
+// deadline so goroutines that are mid-shutdown (a Close racing the
+// test's return) get time to finish. No dependencies beyond the
+// standard library.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main wraps m.Run with a leak check. Failures print the offending
+// stacks and force a non-zero exit even when all tests passed.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := check(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// benign are substrings marking goroutines that legitimately outlive a
+// test run: the testing framework's own workers and the runtime's
+// signal plumbing. (True system goroutines never appear in
+// runtime.Stack output.)
+var benign = []string{
+	"testing.Main(",
+	"testing.runTests(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"testing.tRunner(",
+	"testing.runFuzzing(",
+	"os/signal.signal_recv(",
+	"os/signal.loop(",
+	"runtime.ReadTrace(",
+}
+
+func isBenign(stack string) bool {
+	for _, b := range benign {
+		if strings.Contains(stack, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the stacks of all live goroutines except the
+// calling one (always the first block in runtime.Stack output) and the
+// benign set.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	blocks := strings.Split(string(buf), "\n\n")
+	var leaked []string
+	for _, b := range blocks[1:] { // blocks[0] is this goroutine
+		b = strings.TrimSpace(b)
+		if b == "" || isBenign(b) {
+			continue
+		}
+		leaked = append(leaked, b)
+	}
+	return leaked
+}
+
+// check polls until no unexpected goroutines remain or maxWait
+// elapses. The backoff starts tight so the common case (everything
+// already shut down) costs ~1ms.
+func check(maxWait time.Duration) error {
+	deadline := time.Now().Add(maxWait)
+	delay := time.Millisecond
+	var leaked []string
+	for {
+		leaked = snapshot()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+	return fmt.Errorf("%d goroutine(s) still running after tests:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}

@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckDetectsLeak injects a deliberately blocked goroutine and
+// requires check to report it, then releases it and requires the
+// report to clear — the self-test for the harness every adopting
+// package relies on.
+func TestCheckDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+
+	err := check(50 * time.Millisecond)
+	if err == nil {
+		close(stop)
+		t.Fatal("check missed a deliberately leaked goroutine")
+	}
+	if !strings.Contains(err.Error(), "TestCheckDetectsLeak") {
+		close(stop)
+		t.Fatalf("leak report does not name the leaking function:\n%v", err)
+	}
+
+	close(stop)
+	if err := check(2 * time.Second); err != nil {
+		t.Fatalf("leak report did not clear after the goroutine exited: %v", err)
+	}
+}
+
+// TestCheckWaitsForShutdown verifies the polling grace period: a
+// goroutine that exits shortly after the check starts must not be
+// reported.
+func TestCheckWaitsForShutdown(t *testing.T) {
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+	}()
+	if err := check(2 * time.Second); err != nil {
+		t.Fatalf("check reported a goroutine that was already shutting down: %v", err)
+	}
+}
+
+func TestCheckCleanPass(t *testing.T) {
+	if err := check(time.Second); err != nil {
+		t.Fatalf("clean state reported as leak: %v", err)
+	}
+}

@@ -146,7 +146,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// connection; the read loop is the only writer, response goroutines
 	// read it under wmu so framing and payload stay consistent.
 	var binMode atomic.Bool
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow background — a connection's lifetime IS this root; cancelled when the conn closes
 	defer cancel()
 	// In-progress requests on this connection, so a cancel frame can
 	// abort the matching handler's context mid-flight.
