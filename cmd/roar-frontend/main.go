@@ -3,7 +3,11 @@
 // Algorithm 1, and reports node speed observations and failures back to
 // the membership server (§4.8, §4.9).
 //
-//	roar-frontend -listen 127.0.0.1:8000 -member 127.0.0.1:7000
+// -member accepts either one coordinator or a comma-separated replica
+// list; with a list the frontend sticks to the current leader and fails
+// its view pulls and health pushes over on coordinator loss.
+//
+//	roar-frontend -listen 127.0.0.1:8000 -member 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"roar/internal/coordclient"
 	"roar/internal/frontend"
 	"roar/internal/proto"
 	"roar/internal/wire"
@@ -24,7 +29,7 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:8000", "address to serve on")
-		member   = flag.String("member", "127.0.0.1:7000", "membership server address")
+		member   = flag.String("member", "127.0.0.1:7000", "membership server address(es), comma-separated for a replicated control plane")
 		pq       = flag.Int("pq", 0, "query partitioning level override (0 = view p)")
 		adjust   = flag.Bool("adjust", true, "enable range adjustment (§4.8.2)")
 		splits   = flag.Int("splits", 0, "max slow-sub-query splits per query")
@@ -57,87 +62,33 @@ func main() {
 		HedgeMaxPerQuery: *hedgePQ, ShedHighWater: *shedHW,
 	})
 	defer fe.Close()
-	mcl := wire.NewClient(*member)
+
+	var peers []string
+	for _, p := range strings.Split(*member, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	mcl, err := coordclient.New(peers, coordclient.Config{})
+	if err != nil {
+		fatal(err)
+	}
 	defer mcl.Close()
 
-	syncView := func() error {
-		var v proto.View
-		if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
-			return err
-		}
-		if len(v.Nodes) == 0 {
-			return fmt.Errorf("membership has no nodes yet")
-		}
-		return fe.ApplyView(v)
+	sy := frontend.NewSyncer(fe, mcl, frontend.SyncConfig{
+		Poll:           *poll,
+		HealthInterval: *healthIv,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "roar-frontend: "+format+"\n", args...)
+		},
+	})
+	defer sy.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sy.WaitFirstView(ctx, 60); err != nil {
+		fatal(fmt.Errorf("no usable view from %s: %w", *member, err))
 	}
-	for i := 0; ; i++ {
-		if err := syncView(); err == nil {
-			break
-		} else if i > 60 {
-			fatal(fmt.Errorf("no usable view from %s: %w", *member, err))
-		}
-		time.Sleep(time.Second)
-	}
-
-	// Background: refresh the view on the poll cadence (§4.9).
-	syncIfStale := func() {
-		var v proto.View
-		if err := mcl.Call(context.Background(), proto.MMemberView, nil, &v); err != nil {
-			return
-		}
-		if v.Epoch != fe.View().Epoch && len(v.Nodes) > 0 {
-			_ = fe.ApplyView(v)
-		}
-	}
-	go func() {
-		for range time.Tick(*poll) {
-			syncIfStale()
-		}
-	}()
-
-	// Background: push health reports — the frontend's half of the
-	// failure/overload control loop. When the coordinator's reply names
-	// an epoch ahead of the installed view (a quarantine or recovery
-	// just published), the view is re-pulled immediately rather than
-	// waiting out the poll timer. Two mixed-version downgrades, each
-	// selected only by its specific rejection: a coordinator that
-	// predates member.health answers "unknown method" (legacy
-	// speeds/failed reports), and one that predates the autoscale
-	// telemetry extension rejects the trailing extension block as
-	// trailing bytes (subsequent reports are stripped to the base
-	// format it decodes). Transient transport errors re-credit the
-	// report's deltas and retry on the next tick.
-	go func() {
-		legacy, stripExt := false, false
-		for range time.Tick(*healthIv) {
-			if legacy {
-				report := proto.ReportReq{Speeds: fe.SpeedEstimates(), Failed: fe.FailedNodes()}
-				_ = mcl.Call(context.Background(), proto.MMemberReport, report, nil)
-				continue
-			}
-			rep := fe.HealthReport()
-			send := rep
-			if stripExt {
-				send = rep.StripExt()
-			}
-			var hr proto.HealthResp
-			if err := mcl.Call(context.Background(), proto.MMemberHealth, send, &hr); err != nil {
-				switch {
-				case strings.Contains(err.Error(), "unknown method"):
-					legacy = true
-				case !stripExt && strings.Contains(err.Error(), "trailing bytes after HealthReport"):
-					stripExt = true
-					fe.RestoreHealthReport(rep)
-				default:
-					fe.RestoreHealthReport(rep)
-				}
-				continue
-			}
-			if hr.Epoch != fe.View().Epoch {
-				syncIfStale()
-			}
-		}
-	}()
+	sy.Start(ctx)
 
 	d := wire.NewDispatcher()
 	d.Register(proto.MFEQuery, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {

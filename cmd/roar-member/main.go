@@ -2,7 +2,14 @@
 // ring topology, loads the corpus onto joining nodes, drives p changes,
 // and publishes views to frontends.
 //
+// Standalone (single coordinator, the original deployment):
+//
 //	roar-member -listen 127.0.0.1:7000 -p 4 -rings 1
+//
+// Replicated (HA control plane; run one process per peer, each naming
+// the full peer list — see docs/HA.md):
+//
+//	roar-member -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
 
 import (
@@ -12,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +39,11 @@ func main() {
 		qRecover = flag.Float64("quarantine-recover", 0, "score at which a quarantined node is re-admitted (default 0)")
 		qMaxFrac = flag.Float64("quarantine-max-fraction", 0, "refuse to quarantine beyond this fraction of nodes (0 = default 0.5)")
 
+		peers     = flag.String("peers", "", "comma-separated replica addresses (including this one) — enables the replicated control plane")
+		self      = flag.String("self", "", "this replica's advertised address (default: -listen)")
+		lease     = flag.Duration("lease", 0, "leadership lease duration (0 = default 2s)")
+		heartbeat = flag.Duration("heartbeat", 0, "leader replication cadence (0 = lease/4)")
+
 		autoscale  = flag.Bool("autoscale", false, "run the elasticity controller (auto ChangeP / ring power / decommission)")
 		asDryRun   = flag.Bool("autoscale-dry-run", false, "log autoscale decisions without acting on them")
 		asInterval = flag.Duration("autoscale-interval", 0, "controller evaluation cadence (0 = default 5s)")
@@ -44,34 +57,27 @@ func main() {
 	)
 	flag.Parse()
 
-	coord, err := membership.New(membership.Config{
+	coordCfg := membership.Config{
 		P: *p, Rings: *rings,
 		Health: membership.HealthConfig{
 			QuarantineThreshold:   *qThresh,
 			RecoverThreshold:      *qRecover,
 			MaxQuarantineFraction: *qMaxFrac,
 		},
-	})
-	if err != nil {
-		fatal(err)
 	}
-	defer coord.Close()
-
-	if *autoscale || *asDryRun {
-		as := coord.NewAutoscaler(membership.AutoscaleConfig{
-			DryRun:             *asDryRun,
-			Interval:           *asInterval,
-			HighPressure:       *asHigh,
-			LowPressure:        *asLow,
-			SustainTicks:       *asSustain,
-			Cooldown:           *asCooldown,
-			MinP:               *asMinP,
-			CostGateFraction:   *asCostGate,
-			QuarantineDeadline: *qDeadline,
-			Logf:               log.Printf,
-		})
-		as.Start(context.Background())
-		defer as.Stop()
+	asCfg := membership.AutoscaleConfig{
+		DryRun:             *asDryRun,
+		Interval:           *asInterval,
+		HighPressure:       *asHigh,
+		LowPressure:        *asLow,
+		SustainTicks:       *asSustain,
+		Cooldown:           *asCooldown,
+		MinP:               *asMinP,
+		CostGateFraction:   *asCostGate,
+		QuarantineDeadline: *qDeadline,
+		Logf:               log.Printf,
+	}
+	logAutoscale := func() {
 		mode := "active"
 		if *asDryRun {
 			mode = "dry-run"
@@ -81,6 +87,24 @@ func main() {
 			iv = 5 * time.Second
 		}
 		log.Printf("autoscale controller started (%s, interval %v)", mode, iv)
+	}
+
+	if *peers != "" {
+		runReplica(*listen, *self, *peers, *lease, *heartbeat, coordCfg, asCfg, *autoscale || *asDryRun, logAutoscale)
+		return
+	}
+
+	coord, err := membership.New(coordCfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	if *autoscale || *asDryRun {
+		as := coord.NewAutoscaler(asCfg)
+		as.Start(context.Background())
+		defer as.Stop()
+		logAutoscale()
 	}
 
 	d := wire.NewDispatcher()
@@ -153,6 +177,66 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("roar-member serving on %s (p=%d rings=%d)\n", srv.Addr(), *p, *rings)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+// runReplica serves one member of the replicated control plane.
+func runReplica(listen, self, peerList string, lease, heartbeat time.Duration,
+	coordCfg membership.Config, asCfg membership.AutoscaleConfig, runAutoscale bool, logAutoscale func()) {
+	if self == "" {
+		self = listen
+	}
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	rep, err := membership.NewReplica(membership.ReplicaConfig{
+		Self:        self,
+		Peers:       peers,
+		Lease:       lease,
+		Heartbeat:   heartbeat,
+		Coordinator: coordCfg,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rep.Stop()
+
+	d := wire.NewDispatcher()
+	rep.RegisterHandlers(d)
+	d.Register(proto.MMemberLoad, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
+		var req proto.LoadReq
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		recs, err := store.LoadFile(ctx, req.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.LoadCorpus(ctx, recs); err != nil {
+			return nil, err
+		}
+		return proto.LoadResp{Records: len(recs)}, nil
+	})
+
+	srv, err := wire.Serve(listen, d.Handle)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Start()
+	if runAutoscale {
+		as := rep.NewAutoscaler(asCfg)
+		as.Start(context.Background())
+		defer as.Stop()
+		logAutoscale()
+	}
+	fmt.Printf("roar-member replica %s serving on %s (%d peers)\n", self, srv.Addr(), len(peers))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig

@@ -14,17 +14,17 @@ import (
 	"strings"
 	"syscall"
 
+	"roar/internal/coordclient"
 	"roar/internal/index"
 	"roar/internal/node"
 	"roar/internal/pps"
 	"roar/internal/proto"
-	"roar/internal/wire"
 )
 
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:0", "address to serve on")
-		member   = flag.String("member", "", "membership server address (optional)")
+		member   = flag.String("member", "", "membership server address(es), comma-separated for a replicated control plane (optional)")
 		mbits    = flag.Int("mbits", 0, "PPS filter size in bits (0 = full default encoding)")
 		threads  = flag.Int("threads", 1, "matching threads")
 		speed    = flag.Float64("speed", 0, "throttle to N objects/s (0 = unthrottled)")
@@ -68,7 +68,19 @@ func main() {
 	fmt.Printf("roar-node serving on %s (mbits=%d threads=%d)\n", srv.Addr(), params.MBits, *threads)
 
 	if *member != "" {
-		cl := wire.NewClient(*member)
+		// -member accepts one coordinator or a comma-separated replica
+		// list; the failover client follows leader redirects, so the
+		// join lands wherever the lease currently lives.
+		var peers []string
+		for _, p := range strings.Split(*member, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		cl, err := coordclient.New(peers, coordclient.Config{})
+		if err != nil {
+			fatal(err)
+		}
 		defer cl.Close()
 		var resp proto.JoinResp
 		if err := cl.Call(context.Background(), proto.MMemberJoin,

@@ -22,9 +22,10 @@ import (
 // packages. A package is covered when its import path's last segment is
 // in this list.
 var Packages = map[string]bool{
-	"frontend":   true,
-	"membership": true, // includes the autoscale controller
-	"cluster":    true,
+	"frontend":    true,
+	"membership":  true, // includes the autoscale controller and replica
+	"cluster":     true,
+	"coordclient": true, // failover backoff must be test-steerable
 }
 
 // banned are the time package's wall-clock entry points. time.Duration

@@ -165,6 +165,12 @@ func DefaultTracked() []GateMetric {
 		// variance.
 		{Bench: "BenchmarkIndexMatch/warm", Unit: "speedup-x", HigherBetter: true, Threshold: 0.5},
 		{Bench: "BenchmarkIndexMatch/cold", Unit: "ns/op", Threshold: 1.0},
+		// Control-plane failover: elections are jitter-timed, so the
+		// time-to-leader budget is wide; queries-shed is exact — the
+		// data plane never touches the coordinator, so a leader kill
+		// shedding even one query is a wiring regression, not noise.
+		{Bench: "BenchmarkFailover", Unit: "ms-to-leader", Threshold: 1.5},
+		{Bench: "BenchmarkFailover", Unit: "queries-shed"}, // zero-shed: hard invariant
 	}
 }
 

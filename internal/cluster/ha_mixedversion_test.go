@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"roar/internal/frontend"
+	"roar/internal/ring"
+	"roar/internal/wire"
+)
+
+// TestClusterMixedVersionFrontend pins the rolling-upgrade contract: a
+// pre-HA frontend — plain wire.Client hard-wired to one coordinator
+// address, no failover, no peer list — must work unchanged against a
+// replicated leader, and the view fence must order standalone (Term 0)
+// and elected (Term > 0) publishers correctly in both directions.
+func TestClusterMixedVersionFrontend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-version e2e is not short")
+	}
+	hc, err := StartHA(HAOptions{
+		Replicas: 3, Nodes: 2, P: 2, Seed: 7,
+		Lease:     250 * time.Millisecond,
+		Heartbeat: 60 * time.Millisecond,
+		Frontend:  frontend.Config{Name: "fe-new", PQ: 2},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	want, q := haCorpus(t, hc)
+
+	leader, err := hc.WaitLeader(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old-style frontend speaks to the leader's address directly: a
+	// bare wire.Client is the pre-HA deployment's entire control-plane
+	// stack, and it satisfies the Syncer's MemberCaller as-is.
+	oldFE := frontend.New(frontend.Config{Name: "fe-old", PQ: 2})
+	defer oldFE.Close()
+	cl := wire.NewClient(leader.Self())
+	defer cl.Close()
+	sy := frontend.NewSyncer(oldFE, cl, frontend.SyncConfig{Logf: t.Logf})
+	defer sy.Stop()
+
+	if err := sy.PullViewOnce(context.Background()); err != nil {
+		t.Fatalf("old-style frontend cannot pull from replicated leader: %v", err)
+	}
+	if got, lead := oldFE.View().Term, leader.Term(); got != lead {
+		t.Fatalf("old-style frontend installed term %d, leader at %d", got, lead)
+	}
+	res, err := oldFE.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIDSet(t, res, want, "old-style frontend against replicated leader")
+
+	// Health reports land on the replicated leader too (the Syncer's
+	// downgrade ladder handles genuinely old wire formats; here the
+	// point is the single-address path against a replica).
+	oldFE.MarkFailed(ring.NodeID(oldFE.View().Nodes[0].ID))
+	if err := sy.PushHealthOnce(context.Background()); err != nil {
+		t.Fatalf("old-style health push: %v", err)
+	}
+
+	// Fence, downgrade direction: once a frontend has installed an
+	// elected leader's view, a standalone coordinator's Term-0 view of
+	// the same cluster must be rejected — a pre-HA process restarted by
+	// accident cannot roll the fleet back.
+	standalone := oldFE.View()
+	standalone.Term = 0
+	if err := oldFE.ApplyView(standalone); !errors.Is(err, frontend.ErrStaleView) {
+		t.Fatalf("Term-0 view accepted over an elected one: %v", err)
+	}
+
+	// Fence, upgrade direction: a frontend still holding a Term-0 view
+	// (booted against a standalone coordinator) accepts its first
+	// elected view even if the epoch restarted lower.
+	upFE := frontend.New(frontend.Config{Name: "fe-upgrading", PQ: 2})
+	defer upFE.Close()
+	pre := oldFE.View()
+	pre.Term = 0
+	pre.Epoch = pre.Epoch + 100 // standalone epochs share no origin
+	if err := upFE.ApplyView(pre); err != nil {
+		t.Fatal(err)
+	}
+	elected := oldFE.View()
+	if err := upFE.ApplyView(elected); err != nil {
+		t.Fatalf("upgrade to first elected view refused: %v", err)
+	}
+	if upFE.View().Term != elected.Term {
+		t.Fatalf("upgrading frontend kept term %d", upFE.View().Term)
+	}
+	res, err = upFE.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIDSet(t, res, want, "upgraded frontend")
+}

@@ -355,6 +355,22 @@ func New(cfg Config) *Frontend {
 	return f
 }
 
+// ErrStaleView rejects a view older than the installed one. With a
+// replicated control plane a deposed leader can keep publishing views
+// for up to a lease after losing its majority; fencing on (Term, Epoch)
+// keeps those from rolling the data plane back.
+var ErrStaleView = errors.New("frontend: stale view from deposed or lagging coordinator")
+
+// viewOlder orders views by (Term, Epoch) lexicographically: terms fence
+// leader generations, epochs order one leader's publishes. Equal views
+// are not "older" — re-applying the installed view is a no-op refresh.
+func viewOlder(v, installed proto.View) bool {
+	if v.Term != installed.Term {
+		return v.Term < installed.Term
+	}
+	return v.Epoch < installed.Epoch
+}
+
 // ApplyView installs a membership snapshot: it rebuilds the ring
 // placement and node clients. Speed estimates of retained nodes are
 // preserved and their failure suspicion is cleared — the membership
@@ -363,7 +379,16 @@ func New(cfg Config) *Frontend {
 // connection pool is rebuilt when the effective pool width retunes.
 // Nodes absent from the view are closed and forgotten (§4.8.3: a
 // rejoining backup relearns statistics quickly).
+//
+// Views are fenced: once a view is installed, a view strictly older by
+// (Term, Epoch) returns ErrStaleView and changes nothing.
 func (f *Frontend) ApplyView(v proto.View) error {
+	f.mu.RLock()
+	stale := f.pl != nil && viewOlder(v, f.view)
+	f.mu.RUnlock()
+	if stale {
+		return ErrStaleView
+	}
 	byRing := map[int]*ring.Ring{}
 	maxRing := 0
 	for _, ni := range v.Nodes {
@@ -395,6 +420,11 @@ func (f *Frontend) ApplyView(v proto.View) error {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Re-check the fence under the write lock: a newer view may have
+	// been installed while this one was building its placement.
+	if f.pl != nil && viewOlder(v, f.view) {
+		return ErrStaleView
+	}
 	// Apply execution-pipeline tuning pushed with the view (§4.9-style
 	// central control). Resized semaphores only govern newly admitted
 	// work; queries holding a slot release onto the channel they

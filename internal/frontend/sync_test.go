@@ -1,0 +1,174 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"roar/internal/proto"
+)
+
+func TestApplyViewFencesStaleTermAndEpoch(t *testing.T) {
+	enc := slimEncoder()
+	v, _ := testView(t, enc, 2, 1)
+	v.Term, v.Epoch = 3, 10
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := v
+	stale.Term, stale.Epoch = 2, 99 // deposed leader: any epoch loses to a newer term
+	if err := fe.ApplyView(stale); !errors.Is(err, ErrStaleView) {
+		t.Errorf("older term accepted: %v", err)
+	}
+	stale = v
+	stale.Epoch = 9 // same leader, older publish
+	if err := fe.ApplyView(stale); !errors.Is(err, ErrStaleView) {
+		t.Errorf("older epoch accepted: %v", err)
+	}
+	if got := fe.View(); got.Term != 3 || got.Epoch != 10 {
+		t.Errorf("installed view moved: term %d epoch %d", got.Term, got.Epoch)
+	}
+
+	// Equal is a refresh, newer term supersedes even at a lower epoch.
+	if err := fe.ApplyView(v); err != nil {
+		t.Errorf("re-applying the installed view: %v", err)
+	}
+	next := v
+	next.Term, next.Epoch = 4, 1
+	if err := fe.ApplyView(next); err != nil {
+		t.Errorf("newer term rejected: %v", err)
+	}
+}
+
+// scriptedMember fakes the coordinator: each Call pops the next error
+// from the script (nil = success) and records what was sent.
+type scriptedMember struct {
+	errs   []error
+	view   proto.View
+	health proto.HealthResp
+	calls  []string
+}
+
+func (m *scriptedMember) Call(_ context.Context, method string, in, out interface{}) error {
+	m.calls = append(m.calls, method)
+	var err error
+	if len(m.errs) > 0 {
+		err, m.errs = m.errs[0], m.errs[1:]
+	}
+	if err != nil {
+		return err
+	}
+	switch method {
+	case proto.MMemberView:
+		*out.(*proto.View) = m.view
+	case proto.MMemberHealth:
+		*out.(*proto.HealthResp) = m.health
+	}
+	return nil
+}
+
+// seedShed plants one unit of shed evidence in the frontend's counters
+// and returns a getter for the pending count.
+func seedShed(fe *Frontend) func() int64 {
+	fe.shed.Add(1)
+	return func() int64 { return fe.shed.Load() }
+}
+
+func TestPushHealthRecreditsOnTransportError(t *testing.T) {
+	enc := slimEncoder()
+	v, _ := testView(t, enc, 2, 1)
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	pending := seedShed(fe)
+	m := &scriptedMember{errs: []error{errors.New("wire: connection refused")}}
+	s := NewSyncer(fe, m, SyncConfig{})
+	if err := s.PushHealthOnce(context.Background()); err == nil {
+		t.Fatal("push should surface the transport error")
+	}
+	if pending() != 1 {
+		t.Errorf("shed evidence lost on transport error: pending=%d", pending())
+	}
+}
+
+func TestPushHealthRecreditsOnLegacyDowngrade(t *testing.T) {
+	enc := slimEncoder()
+	v, _ := testView(t, enc, 2, 1)
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	pending := seedShed(fe)
+	// The exact rejection a pre-member.health coordinator produces.
+	m := &scriptedMember{errs: []error{fmt.Errorf("wire: %s: unknown method %q", proto.MMemberHealth, proto.MMemberHealth)}}
+	s := NewSyncer(fe, m, SyncConfig{})
+	if err := s.PushHealthOnce(context.Background()); err == nil {
+		t.Fatal("downgrade push should still report the error")
+	}
+	// The report consumed by the failed push must be re-credited even
+	// though the syncer is switching modes — this evidence would
+	// otherwise vanish exactly once per downgrade.
+	if pending() != 1 {
+		t.Errorf("shed evidence lost on legacy downgrade: pending=%d", pending())
+	}
+	// Subsequent pushes use the legacy report format.
+	if err := s.PushHealthOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.calls[len(m.calls)-1]; got != proto.MMemberReport {
+		t.Errorf("after downgrade the syncer should send %s, sent %s", proto.MMemberReport, got)
+	}
+}
+
+func TestPushHealthRecreditsOnExtensionDowngrade(t *testing.T) {
+	enc := slimEncoder()
+	v, _ := testView(t, enc, 2, 1)
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	pending := seedShed(fe)
+	m := &scriptedMember{errs: []error{errors.New("wire: member.health: proto: trailing bytes after HealthReport")}}
+	s := NewSyncer(fe, m, SyncConfig{})
+	if err := s.PushHealthOnce(context.Background()); err == nil {
+		t.Fatal("downgrade push should still report the error")
+	}
+	if pending() != 1 {
+		t.Errorf("shed evidence lost on extension downgrade: pending=%d", pending())
+	}
+	s.mu.Lock()
+	stripExt := s.stripExt
+	s.mu.Unlock()
+	if !stripExt {
+		t.Error("extension downgrade not latched")
+	}
+}
+
+func TestPushHealthEpochAheadRepullsView(t *testing.T) {
+	enc := slimEncoder()
+	v, _ := testView(t, enc, 2, 1)
+	v.Epoch = 1
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	newer := v
+	newer.Epoch = 5
+	m := &scriptedMember{view: newer, health: proto.HealthResp{Epoch: 5}}
+	s := NewSyncer(fe, m, SyncConfig{})
+	if err := s.PushHealthOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.View().Epoch; got != 5 {
+		t.Errorf("epoch-ahead reply should trigger an immediate view pull; installed epoch %d", got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"roar/internal/ring"
 	"roar/internal/sim"
 )
 
@@ -178,11 +179,33 @@ func (ac AutoscaleConfig) withDefaults() AutoscaleConfig {
 // maxDecisions bounds the retained decision log.
 const maxDecisions = 256
 
+// controlPlane is the lever-and-telemetry surface the controller needs.
+// A standalone Coordinator satisfies it directly; a replicated Replica
+// satisfies it with leader-guarded methods, so autoscale decisions made
+// on the leader commit to the replicated decision log like any other
+// reconfiguration.
+type controlPlane interface {
+	FleetPressure() FleetPressure
+	P() int
+	ringPowerState() (disabled, enabled []int)
+	schedulableNodes() int
+	ChangeP(ctx context.Context, newP int) error
+	SetRingEnabled(ctx context.Context, k int, enabled bool) error
+	Decommission(ctx context.Context, id ring.NodeID) error
+}
+
+// leaderAware is implemented by replicated control planes; a controller
+// bound to one holds its fire on non-leader replicas, so every replica
+// can run an autoscaler without three controllers fighting.
+type leaderAware interface {
+	IsLeader() bool
+}
+
 // Autoscaler is the elasticity controller. Build with
-// Coordinator.NewAutoscaler; drive with Start (background loop) or
-// Step (one evaluation).
+// Coordinator.NewAutoscaler or Replica.NewAutoscaler; drive with Start
+// (background loop) or Step (one evaluation).
 type Autoscaler struct {
-	c   *Coordinator
+	c   controlPlane
 	cfg AutoscaleConfig
 
 	mu         sync.Mutex
@@ -201,6 +224,10 @@ type Autoscaler struct {
 // telemetry counters are snapshotted now, so pressure accumulated
 // before the controller existed is not charged to its first tick.
 func (c *Coordinator) NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	return newAutoscaler(c, cfg)
+}
+
+func newAutoscaler(c controlPlane, cfg AutoscaleConfig) *Autoscaler {
 	a := &Autoscaler{
 		c:    c,
 		cfg:  cfg.withDefaults(),
@@ -312,6 +339,12 @@ func (c *Coordinator) schedulableNodes() int {
 // action plus any overdue quarantine decommissions. It returns the
 // decisions recorded this tick.
 func (a *Autoscaler) Step(ctx context.Context) []AutoscaleDecision {
+	// On a replicated control plane only the lease holder acts; follower
+	// controllers stay silent rather than recording decisions they have
+	// no authority (or telemetry) to make.
+	if la, ok := a.c.(leaderAware); ok && !la.IsLeader() {
+		return nil
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	now := a.cfg.Now()

@@ -34,6 +34,12 @@ type Config struct {
 	// Tuning, when set, is distributed to frontends inside every view
 	// so the fleet converges on one execution-pipeline configuration.
 	Tuning *proto.Tuning
+	// Backend, when set, is used as the corpus store instead of a fresh
+	// empty one. Replicated coordinators point every replica at the
+	// same store — the paper's shared NFS backend (§4.1) — so a newly
+	// elected leader can complete data-moving reconfigurations without
+	// re-ingesting the corpus.
+	Backend *store.Store
 	// Health tunes the failure/overload control loop (health.go).
 	// Zero values use the documented defaults.
 	Health HealthConfig
@@ -76,6 +82,10 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.PutChunk <= 0 {
 		cfg.PutChunk = 2000
 	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = store.New()
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		ringOf:   map[ring.NodeID]int{},
@@ -85,7 +95,7 @@ func New(cfg Config) (*Coordinator, error) {
 		clients:  map[ring.NodeID]*wire.Client{},
 		disabled: map[int]bool{},
 		p:        cfg.P,
-		backend:  store.New(),
+		backend:  backend,
 		health:   newHealthState(cfg.Health),
 	}
 	for k := 0; k < cfg.Rings; k++ {

@@ -26,6 +26,12 @@ const (
 	MMemberLoad   = "member.load"
 	MMemberHealth = "member.health"
 
+	// Coordinator replication methods (control-plane HA): the leader
+	// pushes its decision log to follower replicas with member.replicate
+	// and acquires/renews its election lease with member.lease.
+	MMemberReplicate = "member.replicate"
+	MMemberLease     = "member.lease"
+
 	// Frontend client-facing method (cmd/roar-frontend).
 	MFEQuery = "fe.query"
 )
@@ -231,6 +237,15 @@ type View struct {
 	P      int        `json:"p"`     // safe partitioning level (§4.5)
 	Nodes  []NodeInfo `json:"nodes"`
 	Tuning *Tuning    `json:"tuning,omitempty"` // frontend pipeline knobs
+
+	// Term is the publishing leader's election term (control-plane HA).
+	// Views are fenced by (Term, Epoch): a frontend rejects any view
+	// strictly older than its installed one, so a deposed coordinator
+	// can never roll the fleet back. Zero (a pre-HA or standalone
+	// coordinator) sorts below every elected term, preserving
+	// mixed-version interop — the view stays JSON on the wire, so old
+	// peers simply ignore the field.
+	Term uint64 `json:"term,omitempty"`
 }
 
 // JoinReq registers a node with the membership server.

@@ -92,6 +92,17 @@ func ServeWithConfig(addr string, h Handler, cfg ServerConfig) (*Server, error) 
 	return s, nil
 }
 
+// ServeListener serves on an already-bound listener. Replicated
+// control planes need this: a replica must know every peer's address —
+// including its own — before any replica is constructed, so harnesses
+// bind all the listeners first and hand them over.
+func ServeListener(ln net.Listener, h Handler, cfg ServerConfig) *Server {
+	s := &Server{ln: ln, handler: h, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
