@@ -9,16 +9,27 @@
 // fails for ANY reason re-credits the report — including the
 // mixed-version downgrade paths, where the evidence would otherwise be
 // silently lost exactly once per downgrade.
+//
+// Downgrades latch on evidence, not prose: only an error the remote
+// handler reported (wire.RemoteError) classifies, by its typed code
+// when the server attached one, so a transport or proxy error that
+// happens to embed similar text can never degrade the frontend. And a
+// latch is not forever — every downgradeProbeEvery pushes the Syncer
+// retries the full-fidelity path once, so an upgraded coordinator (or
+// failover onto a newer replica) restores quarantine and telemetry
+// evidence without a frontend restart.
 package frontend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"roar/internal/proto"
+	"roar/internal/wire"
 )
 
 // MemberCaller is the coordinator transport: satisfied by wire.Client
@@ -52,6 +63,15 @@ func (sc SyncConfig) withDefaults() SyncConfig {
 	return sc
 }
 
+// downgradeProbeEvery is the re-probe cadence: after this many pushes
+// in a downgraded mode, one push retries the full-fidelity encoding.
+// Success un-latches the downgrade; the specific rejection re-latches
+// it for another window. At the default 1s health interval a latched
+// frontend rediscovers an upgraded coordinator within ~16s while
+// paying one predictable extra rejection per window against a
+// genuinely old one (whose evidence is re-credited, not lost).
+const downgradeProbeEvery = 16
+
 // Syncer keeps one frontend synchronised with the control plane.
 type Syncer struct {
 	fe  *Frontend
@@ -62,9 +82,11 @@ type Syncer struct {
 	// Mixed-version downgrades, each latched only by its specific
 	// rejection: legacy when the coordinator predates member.health
 	// entirely, stripExt when it predates the autoscale telemetry
-	// extension block.
-	legacy   bool
-	stripExt bool
+	// extension block. sinceProbe counts downgraded pushes toward the
+	// next full-fidelity re-probe.
+	legacy     bool
+	stripExt   bool
+	sinceProbe int
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -131,6 +153,35 @@ func (s *Syncer) WaitFirstView(ctx context.Context, attempts int) error {
 	return fmt.Errorf("frontend: no usable view after %d attempts: %w", attempts, err)
 }
 
+// downgradeSignal classifies a member.health failure into the
+// mixed-version downgrade it proves, if any. Only an error the remote
+// HANDLER reported counts — a transport error carrying similar text
+// (a proxy quoting a server, a connection-loss message) never
+// classifies. Typed codes are authoritative; the bare-string fallbacks
+// accept the exact spellings of coordinators that predate the codes.
+func downgradeSignal(err error) (legacy, noExt bool) {
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		return false, false
+	}
+	switch re.Code {
+	case wire.CodeUnknownMethod:
+		return true, false
+	case wire.CodeTrailingBytes:
+		return false, true
+	case "": // pre-code coordinator: fall through to the exact spellings
+	default:
+		return false, false
+	}
+	if strings.HasPrefix(re.Msg, "wire: unknown method") {
+		return true, false
+	}
+	if strings.Contains(re.Msg, "trailing bytes after HealthReport") {
+		return false, true
+	}
+	return false, false
+}
+
 // PushHealthOnce ships one health report. When the coordinator's reply
 // names an epoch other than the installed view's (a quarantine or
 // recovery just published — or a new leader took over), the view is
@@ -143,14 +194,22 @@ func (s *Syncer) WaitFirstView(ctx context.Context, attempts int) error {
 func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 	s.mu.Lock()
 	legacy, stripExt := s.legacy, s.stripExt
+	probe := false
+	if legacy || stripExt {
+		s.sinceProbe++
+		if s.sinceProbe >= downgradeProbeEvery {
+			s.sinceProbe = 0
+			probe = true // retry full fidelity this round
+		}
+	}
 	s.mu.Unlock()
-	if legacy {
+	if legacy && !probe {
 		report := proto.ReportReq{Speeds: s.fe.SpeedEstimates(), Failed: s.fe.FailedNodes()}
 		return s.mc.Call(ctx, proto.MMemberReport, report, nil)
 	}
 	rep := s.fe.HealthReport()
 	send := rep
-	if stripExt {
+	if stripExt && !probe {
 		send = rep.StripExt()
 	}
 	var hr proto.HealthResp
@@ -158,19 +217,27 @@ func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 		// Whatever happens next, the evidence goes back first: even a
 		// downgrade consumes this report without delivering it.
 		s.fe.RestoreHealthReport(rep)
-		switch {
-		case strings.Contains(err.Error(), "unknown method"):
+		if toLegacy, toStrip := downgradeSignal(err); toLegacy || toStrip {
 			s.mu.Lock()
-			s.legacy = true
+			changed := s.legacy != toLegacy || s.stripExt != toStrip
+			s.legacy, s.stripExt = toLegacy, toStrip
+			s.sinceProbe = 0
 			s.mu.Unlock()
-			s.logf("frontend: coordinator predates member.health; downgrading to legacy reports")
-		case !stripExt && strings.Contains(err.Error(), "trailing bytes after HealthReport"):
-			s.mu.Lock()
-			s.stripExt = true
-			s.mu.Unlock()
-			s.logf("frontend: coordinator predates telemetry extension; stripping reports")
+			if changed && toLegacy {
+				s.logf("frontend: coordinator predates member.health; downgrading to legacy reports")
+			} else if changed {
+				s.logf("frontend: coordinator predates telemetry extension; stripping reports")
+			}
 		}
 		return err
+	}
+	if probe {
+		// The full-fidelity probe landed: the coordinator was upgraded,
+		// or failover reached a newer replica. Un-latch.
+		s.mu.Lock()
+		s.legacy, s.stripExt = false, false
+		s.mu.Unlock()
+		s.logf("frontend: coordinator accepts full health reports again; downgrade cleared")
 	}
 	if hr.Epoch != s.fe.View().Epoch {
 		s.pullIfStale(ctx)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"roar/internal/proto"
+	"roar/internal/wire"
 )
 
 func TestApplyViewFencesStaleTermAndEpoch(t *testing.T) {
@@ -78,17 +79,33 @@ func seedShed(fe *Frontend) func() int64 {
 	return func() int64 { return fe.shed.Load() }
 }
 
-func TestPushHealthRecreditsOnTransportError(t *testing.T) {
+// syncTestBed builds a frontend with an installed view, seeded shed
+// evidence, and a syncer over the scripted member.
+func syncTestBed(t *testing.T, m *scriptedMember) (*Frontend, *Syncer, func() int64) {
+	t.Helper()
 	enc := slimEncoder()
 	v, _ := testView(t, enc, 2, 1)
 	fe := New(Config{})
-	defer fe.Close()
+	t.Cleanup(fe.Close)
 	if err := fe.ApplyView(v); err != nil {
 		t.Fatal(err)
 	}
+	m.health = proto.HealthResp{Epoch: v.Epoch} // no surprise view re-pull
 	pending := seedShed(fe)
-	m := &scriptedMember{errs: []error{errors.New("wire: connection refused")}}
 	s := NewSyncer(fe, m, SyncConfig{})
+	return fe, s, pending
+}
+
+// modes reads the syncer's downgrade latches.
+func (s *Syncer) modes() (legacy, stripExt bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.legacy, s.stripExt
+}
+
+func TestPushHealthRecreditsOnTransportError(t *testing.T) {
+	m := &scriptedMember{errs: []error{errors.New("wire: connection refused")}}
+	_, s, pending := syncTestBed(t, m)
 	if err := s.PushHealthOnce(context.Background()); err == nil {
 		t.Fatal("push should surface the transport error")
 	}
@@ -97,18 +114,41 @@ func TestPushHealthRecreditsOnTransportError(t *testing.T) {
 	}
 }
 
-func TestPushHealthRecreditsOnLegacyDowngrade(t *testing.T) {
-	enc := slimEncoder()
-	v, _ := testView(t, enc, 2, 1)
-	fe := New(Config{})
-	defer fe.Close()
-	if err := fe.ApplyView(v); err != nil {
+// TestPushHealthTransportTextNeverLatches: transport errors whose text
+// embeds the downgrade spellings (a proxy quoting a server, a
+// connection-loss message) must NOT degrade the frontend — only an
+// error the remote handler reported (wire.RemoteError) classifies.
+func TestPushHealthTransportTextNeverLatches(t *testing.T) {
+	m := &scriptedMember{errs: []error{
+		fmt.Errorf("wire: connection lost: proxy said %q", "unknown method"),
+		errors.New("gateway: upstream replied: proto: 7 trailing bytes after HealthReport"),
+	}}
+	_, s, _ := syncTestBed(t, m)
+	for i := 0; i < 2; i++ {
+		if err := s.PushHealthOnce(context.Background()); err == nil {
+			t.Fatal("scripted error should surface")
+		}
+		if legacy, stripExt := s.modes(); legacy || stripExt {
+			t.Fatalf("transport error text latched a downgrade: legacy=%v stripExt=%v", legacy, stripExt)
+		}
+	}
+	// And the next push still uses the full-fidelity method.
+	if err := s.PushHealthOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	pending := seedShed(fe)
-	// The exact rejection a pre-member.health coordinator produces.
-	m := &scriptedMember{errs: []error{fmt.Errorf("wire: %s: unknown method %q", proto.MMemberHealth, proto.MMemberHealth)}}
-	s := NewSyncer(fe, m, SyncConfig{})
+	if got := m.calls[len(m.calls)-1]; got != proto.MMemberHealth {
+		t.Errorf("push after transport noise should send %s, sent %s", proto.MMemberHealth, got)
+	}
+}
+
+func TestPushHealthRecreditsOnLegacyDowngrade(t *testing.T) {
+	// The typed rejection a pre-member.health coordinator produces
+	// through a current wire server.
+	m := &scriptedMember{errs: []error{
+		&wire.RemoteError{Method: proto.MMemberHealth, Code: wire.CodeUnknownMethod,
+			Msg: fmt.Sprintf("wire: unknown method %q", proto.MMemberHealth)},
+	}}
+	_, s, pending := syncTestBed(t, m)
 	if err := s.PushHealthOnce(context.Background()); err == nil {
 		t.Fatal("downgrade push should still report the error")
 	}
@@ -127,28 +167,82 @@ func TestPushHealthRecreditsOnLegacyDowngrade(t *testing.T) {
 	}
 }
 
-func TestPushHealthRecreditsOnExtensionDowngrade(t *testing.T) {
-	enc := slimEncoder()
-	v, _ := testView(t, enc, 2, 1)
-	fe := New(Config{})
-	defer fe.Close()
-	if err := fe.ApplyView(v); err != nil {
-		t.Fatal(err)
+// TestPushHealthLegacyStringStillClassifies pins the pre-code
+// fallback: a coordinator built before the wire error codes rejects
+// with the bare historic spelling, which must still classify — but
+// only when it arrives as a remote (handler) error.
+func TestPushHealthLegacyStringStillClassifies(t *testing.T) {
+	m := &scriptedMember{errs: []error{
+		&wire.RemoteError{Method: proto.MMemberHealth,
+			Msg: fmt.Sprintf("wire: unknown method %q", proto.MMemberHealth)},
+	}}
+	_, s, _ := syncTestBed(t, m)
+	if err := s.PushHealthOnce(context.Background()); err == nil {
+		t.Fatal("downgrade push should still report the error")
 	}
-	pending := seedShed(fe)
-	m := &scriptedMember{errs: []error{errors.New("wire: member.health: proto: trailing bytes after HealthReport")}}
-	s := NewSyncer(fe, m, SyncConfig{})
+	if legacy, _ := s.modes(); !legacy {
+		t.Error("pre-code unknown-method spelling did not latch legacy mode")
+	}
+}
+
+func TestPushHealthRecreditsOnExtensionDowngrade(t *testing.T) {
+	m := &scriptedMember{errs: []error{
+		&wire.RemoteError{Method: proto.MMemberHealth, Code: wire.CodeTrailingBytes,
+			Msg: "proto: 7 trailing bytes after HealthReport"},
+	}}
+	_, s, pending := syncTestBed(t, m)
 	if err := s.PushHealthOnce(context.Background()); err == nil {
 		t.Fatal("downgrade push should still report the error")
 	}
 	if pending() != 1 {
 		t.Errorf("shed evidence lost on extension downgrade: pending=%d", pending())
 	}
-	s.mu.Lock()
-	stripExt := s.stripExt
-	s.mu.Unlock()
-	if !stripExt {
+	if _, stripExt := s.modes(); !stripExt {
 		t.Error("extension downgrade not latched")
+	}
+}
+
+// TestPushHealthReprobeUnlatches: a latched downgrade heals once the
+// coordinator is upgraded (or failover lands on a newer replica): every
+// downgradeProbeEvery pushes one full-fidelity probe goes out, and its
+// success clears the latch.
+func TestPushHealthReprobeUnlatches(t *testing.T) {
+	m := &scriptedMember{errs: []error{
+		&wire.RemoteError{Method: proto.MMemberHealth, Code: wire.CodeUnknownMethod,
+			Msg: fmt.Sprintf("wire: unknown method %q", proto.MMemberHealth)},
+	}}
+	_, s, _ := syncTestBed(t, m)
+	if err := s.PushHealthOnce(context.Background()); err == nil {
+		t.Fatal("downgrade push should still report the error")
+	}
+	if legacy, _ := s.modes(); !legacy {
+		t.Fatal("legacy mode not latched")
+	}
+	// The scripted errors are exhausted, so every call from here on
+	// succeeds — the "coordinator upgraded" moment. The next
+	// downgradeProbeEvery-1 pushes stay legacy; the probe push sends
+	// member.health and un-latches.
+	for i := 0; i < downgradeProbeEvery; i++ {
+		if err := s.PushHealthOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		legacy, _ := s.modes()
+		if i < downgradeProbeEvery-1 {
+			if got := m.calls[len(m.calls)-1]; got != proto.MMemberReport {
+				t.Fatalf("push %d should stay legacy (%s), sent %s", i, proto.MMemberReport, got)
+			}
+			if !legacy {
+				t.Fatalf("push %d un-latched without a probe", i)
+			}
+		} else if legacy {
+			t.Fatal("successful probe did not clear the legacy latch")
+		}
+	}
+	if err := s.PushHealthOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.calls[len(m.calls)-1]; got != proto.MMemberHealth {
+		t.Errorf("after un-latch the syncer should send %s, sent %s", proto.MMemberHealth, got)
 	}
 }
 

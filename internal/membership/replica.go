@@ -16,14 +16,30 @@
 //     higher term steps down. Views published to frontends carry the
 //     leader's term, so a deposed coordinator can never roll the data
 //     plane back (frontend.ErrStaleView).
-//   - Votes are leases: a grant is (term, candidate, expiry). A voter
-//     refuses new candidates while an unexpired grant stands, so two
-//     leaders cannot hold overlapping leases. Accepted replicate
-//     traffic implicitly renews the leader's grant on each follower —
-//     member.lease is election-only traffic.
-//   - A candidate must prove log completeness: voters refuse candidates
-//     whose last log index is behind their own commit, so an elected
-//     leader always holds every committed decision.
+//   - Votes are leases, but the vote and the lease expire differently.
+//     The grant (term, candidate, expiry) bounds leadership TIME: a
+//     voter refuses new candidates while an unexpired grant stands, so
+//     two leases cannot overlap. The vote (votedTerm, votedFor) never
+//     expires: a voter that granted term T to one candidate refuses
+//     every other candidate at T forever, even after the lease runs
+//     out — otherwise a replica that never observed T could campaign
+//     into it after the original leader died and two leader
+//     generations would share a term, breaking both election safety
+//     and the frontends' (Term, Epoch) view fence. Accepted replicate
+//     traffic implicitly renews the leader's grant on each follower
+//     (and pins the leader as that term's vote) — member.lease is
+//     election-only traffic.
+//   - A candidate must prove log completeness with Raft's up-to-date
+//     rule: voters refuse candidates whose last log entry
+//     (LastTerm, LastIndex) is behind their own, comparing terms first
+//     and indexes only to break ties. Index alone is not enough — a
+//     deposed leader's uncommitted tail can match a voter's committed
+//     index while carrying an older term; electing it would let the
+//     overwrite path truncate a committed decision.
+//   - A committed log slot is immutable: a follower refuses any
+//     replicate push that would rewrite an entry at or below its
+//     commit watermark with a different term (defense in depth — no
+//     correct leader can send one).
 //   - The leader's own lease extends from each replication round that a
 //     majority acknowledges; when it cannot reach a majority for a full
 //     lease duration it steps down rather than serve stale reads.
@@ -149,12 +165,20 @@ type Replica struct {
 	grantTerm  uint64
 	grantTo    string
 	grantUntil time.Time
-	lastHeard  time.Time // last accepted leader traffic
+	// The vote, unlike the grant, never expires: one candidate per term,
+	// forever (in-memory — a restarted replica rejoins with a fresh term
+	// and an empty log, so it re-enters as a follower rather than
+	// re-voting old terms). This is what makes a term name at most one
+	// leader generation.
+	votedTerm uint64
+	votedFor  string
+	lastHeard time.Time // last accepted leader traffic
 
 	// Decision log window. log is contiguous; when non-empty its last
-	// entry has Index == lastIndex.
+	// entry has Index == lastIndex and Term == lastTerm.
 	log       []proto.LogEntry
 	lastIndex uint64
+	lastTerm  uint64
 	commit    uint64
 	committed proto.ControlState
 	hasState  bool // committed holds a real snapshot
@@ -294,12 +318,14 @@ func (r *Replica) campaign() {
 	r.term++
 	term := r.term
 	last := r.lastIndex
+	lastTerm := r.lastTerm
+	r.votedTerm, r.votedFor = term, r.cfg.Self
 	r.grantTerm, r.grantTo, r.grantUntil = term, r.cfg.Self, now.Add(r.cfg.Lease)
 	r.leader = ""
 	r.mu.Unlock()
-	r.logf("campaigning at term %d (last index %d)", term, last)
+	r.logf("campaigning at term %d (last entry %d.%d)", term, lastTerm, last)
 
-	req := proto.LeaseReq{Term: term, Candidate: r.cfg.Self, LastIndex: last}
+	req := proto.LeaseReq{Term: term, Candidate: r.cfg.Self, LastIndex: last, LastTerm: lastTerm}
 	votes := r.pollPeers(term, func(ctx context.Context, cl *wire.Client) bool {
 		var resp proto.LeaseResp
 		if err := cl.Call(ctx, proto.MMemberLease, req, &resp); err != nil {
@@ -393,9 +419,10 @@ func (r *Replica) stepDownLocked(format string, args ...any) *Coordinator {
 // The rebuild base is the log TAIL, not the commit watermark: an entry
 // the old leader majority-acked may sit above every survivor's commit
 // (the watermark travels one heartbeat behind), and the election rule —
-// voters refuse candidates whose last index is behind their own — puts
-// that entry on whoever wins. Building from anything older would lose
-// a decision the old leader already confirmed to its caller.
+// voters refuse candidates whose last entry (term, index) is behind
+// their own — puts that entry on whoever wins. Building from anything
+// older would lose a decision the old leader already confirmed to its
+// caller.
 func (r *Replica) becomeLeader(term uint64) {
 	r.mu.Lock()
 	if r.term != term || r.role != RoleCandidate {
@@ -580,6 +607,7 @@ func (r *Replica) propose(kind uint8, st proto.ControlState) error {
 	entry := proto.LogEntry{Index: idx, Term: term, Kind: kind, State: st}
 	r.log = append(r.log, entry)
 	r.lastIndex = idx
+	r.lastTerm = term
 	r.trimLogLocked()
 	start := r.cfg.Now()
 	r.mu.Unlock()
@@ -642,18 +670,41 @@ func (r *Replica) HandleReplicate(req proto.ReplicateReq) proto.ReplicateResp {
 	} else {
 		r.role = RoleFollower
 	}
+	// A committed slot is immutable: refuse any push that would rewrite
+	// one with a different term BEFORE mutating anything. With the
+	// election up-to-date rule no correct leader can send such a push,
+	// so reaching this is split-brain or corruption — and truncating
+	// would silently lose a committed decision.
+	for _, e := range req.Entries {
+		if e.Index <= r.commit && len(r.log) > 0 && e.Index >= r.log[0].Index &&
+			r.log[e.Index-r.log[0].Index].Term != e.Term {
+			resp := proto.ReplicateResp{Term: r.term, OK: false, LastIndex: r.lastIndex}
+			r.mu.Unlock()
+			if coord != nil {
+				coord.Close()
+			}
+			return resp
+		}
+	}
 	now := r.cfg.Now()
 	r.leader = req.Leader
 	r.lastHeard = now
-	// Accepted replication traffic IS the lease renewal.
+	// Accepted replication traffic IS the lease renewal — and pins the
+	// leader as this term's vote, so once the lease lapses no OTHER
+	// candidate can be granted the same term.
+	if r.votedTerm < req.Term {
+		r.votedTerm, r.votedFor = req.Term, req.Leader
+	}
 	r.grantTerm, r.grantTo, r.grantUntil = req.Term, req.Leader, now.Add(r.cfg.Lease)
 
 	for _, e := range req.Entries {
 		switch {
+		case e.Index <= r.commit:
+			// Already committed (and, per the scan above, identical):
+			// never truncate at or below the commit watermark.
 		case e.Index <= r.lastIndex:
-			// Overwrite: drop our conflicting suffix and append. (The
-			// leader never rewrites committed entries, so this only
-			// discards uncommitted leftovers from a dead term.)
+			// Overwrite: drop our conflicting UNCOMMITTED suffix and
+			// append the leader's entry.
 			if len(r.log) > 0 && e.Index >= r.log[0].Index {
 				keep := e.Index - r.log[0].Index
 				r.log = r.log[:keep]
@@ -671,6 +722,9 @@ func (r *Replica) HandleReplicate(req proto.ReplicateReq) proto.ReplicateResp {
 			r.log = append(r.log[:0], e)
 			r.lastIndex = e.Index
 		}
+	}
+	if len(r.log) > 0 {
+		r.lastTerm = r.log[len(r.log)-1].Term
 	}
 	r.trimLogLocked()
 	if req.Commit > r.commit {
@@ -716,21 +770,35 @@ func (r *Replica) HandleLease(req proto.LeaseReq) proto.LeaseResp {
 	resp.Term = r.term
 	now := r.cfg.Now()
 	switch {
+	case r.votedTerm == req.Term && r.votedFor != "" && r.votedFor != req.Candidate:
+		// Already voted at this term for someone else. A vote is
+		// forever, unlike the lease: re-granting an old term after its
+		// lease expired would let two leader generations share a term,
+		// and the frontends' (Term, Epoch) fence assumes a term names
+		// exactly one leader. (Re-granting the SAME candidate is an
+		// idempotent retry and falls through.)
+		resp.Granted = false
+		resp.Leader = r.leader
 	case r.grantTo != "" && r.grantTo != req.Candidate && now.Before(r.grantUntil):
 		// An unexpired lease stands (possibly renewed by replicate
 		// traffic from the live leader). Granting now could make two
 		// leases overlap, so refuse even though the term is newer.
 		resp.Granted = false
 		resp.Leader = r.leader
-	case req.LastIndex < r.lastIndex:
-		// Incomplete log: our tail may hold a majority-acked entry whose
-		// commit watermark is still in flight (it travels one heartbeat
-		// behind). Electing a candidate behind our LAST index — not just
-		// our commit — could lose a decision the dead leader already
-		// confirmed to its caller.
+	case req.LastTerm < r.lastTerm || (req.LastTerm == r.lastTerm && req.LastIndex < r.lastIndex):
+		// Raft's up-to-date rule over the candidate's LAST entry, term
+		// first, index to break ties. Term matters: a partitioned
+		// ex-leader can sit on an uncommitted tail whose index matches
+		// ours while our entry at that index is a committed decision
+		// from a newer leader — electing it would truncate the
+		// committed entry on every follower. And the LAST index — not
+		// just our commit — matters because the watermark travels one
+		// heartbeat behind majority acks: our tail may hold an entry the
+		// dead leader already confirmed to its caller.
 		resp.Granted = false
 	default:
 		resp.Granted = true
+		r.votedTerm, r.votedFor = req.Term, req.Candidate
 		r.grantTerm, r.grantTo, r.grantUntil = req.Term, req.Candidate, now.Add(r.cfg.Lease)
 	}
 	r.mu.Unlock()

@@ -251,6 +251,118 @@ func TestReplicaGapResetsFollowerWindow(t *testing.T) {
 	}
 }
 
+// clockedReplica builds an un-started replica driven by a manual clock,
+// plus the advance function. Tests drive HandleReplicate/HandleLease
+// directly; nothing races on the clock because no loops run.
+func clockedReplica(t *testing.T) (*Replica, func(d time.Duration)) {
+	t.Helper()
+	now := time.Unix(1_700_000_000, 0)
+	r, err := NewReplica(ReplicaConfig{
+		Self:  "x:1",
+		Peers: []string{"x:1", "x:2", "x:3"},
+		Now:   func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return r, func(d time.Duration) { now = now.Add(d) }
+}
+
+func stateEntry(idx, term uint64, epoch int) proto.LogEntry {
+	return proto.LogEntry{Index: idx, Term: term, Kind: proto.EntryState,
+		State: proto.ControlState{Epoch: epoch, P: 2, Rings: 1}}
+}
+
+// TestReplicaLeaseUpToDateRule: votes compare the candidate's LAST
+// entry as (term, index), term first — a longer log of older-term
+// entries must not beat a shorter log containing a newer committed
+// decision. This is the reviewer's partitioned-ex-leader scenario: its
+// stale tail can match or exceed our index while our entry at that
+// index is a committed decision from a newer leader.
+func TestReplicaLeaseUpToDateRule(t *testing.T) {
+	r, advance := clockedReplica(t)
+	resp := r.HandleReplicate(proto.ReplicateReq{Term: 2, Leader: "x:2", Commit: 2,
+		Entries: []proto.LogEntry{stateEntry(1, 2, 1), stateEntry(2, 2, 2)}})
+	if !resp.OK {
+		t.Fatalf("seed append rejected: %+v", resp)
+	}
+	advance(3 * time.Second) // let x:2's lease grant expire — isolate the log rule
+
+	if lr := r.HandleLease(proto.LeaseReq{Term: 99, Candidate: "x:3", LastIndex: 5, LastTerm: 1}); lr.Granted {
+		t.Error("older last term granted despite a higher last index")
+	}
+	if lr := r.HandleLease(proto.LeaseReq{Term: 100, Candidate: "x:3", LastIndex: 1, LastTerm: 2}); lr.Granted {
+		t.Error("equal last term but shorter log granted")
+	}
+	if lr := r.HandleLease(proto.LeaseReq{Term: 101, Candidate: "x:3", LastIndex: 2, LastTerm: 2}); !lr.Granted {
+		t.Errorf("up-to-date candidate refused: %+v", lr)
+	}
+}
+
+// TestReplicaVoteOutlivesLease: the lease grant expires by the clock,
+// but the vote it carried does not — a term names at most one
+// candidate forever, so two leader generations can never share a term
+// and the frontends' (Term, Epoch) fence stays sound.
+func TestReplicaVoteOutlivesLease(t *testing.T) {
+	r, advance := clockedReplica(t)
+	if lr := r.HandleLease(proto.LeaseReq{Term: 5, Candidate: "x:2"}); !lr.Granted {
+		t.Fatalf("first candidate refused: %+v", lr)
+	}
+	advance(3 * time.Second) // grant expired; the vote must still stand
+	if lr := r.HandleLease(proto.LeaseReq{Term: 5, Candidate: "x:3"}); lr.Granted {
+		t.Error("expired lease re-granted term 5 to a second candidate")
+	}
+	if lr := r.HandleLease(proto.LeaseReq{Term: 5, Candidate: "x:2"}); !lr.Granted {
+		t.Error("idempotent retry by the voted candidate refused")
+	}
+	advance(3 * time.Second) // the retry renewed x:2's lease; let it lapse
+	if lr := r.HandleLease(proto.LeaseReq{Term: 6, Candidate: "x:3"}); !lr.Granted {
+		t.Error("fresh term refused after the old vote")
+	}
+}
+
+// TestReplicaRefusesCommittedRewrite: entries at or below the commit
+// watermark are immutable. A push that would rewrite one with a
+// different term (split-brain or corruption) is refused outright;
+// overwriting the UNCOMMITTED tail remains legal — that is how a new
+// leader re-replicates over a dead leader's unacknowledged entries.
+func TestReplicaRefusesCommittedRewrite(t *testing.T) {
+	r, _ := clockedReplica(t)
+	resp := r.HandleReplicate(proto.ReplicateReq{Term: 2, Leader: "x:2", Commit: 2,
+		Entries: []proto.LogEntry{stateEntry(1, 2, 1), stateEntry(2, 2, 2)}})
+	if !resp.OK {
+		t.Fatalf("seed append rejected: %+v", resp)
+	}
+	// A "leader" at a newer term tries to rewrite committed index 2.
+	resp = r.HandleReplicate(proto.ReplicateReq{Term: 3, Leader: "x:3", Commit: 1,
+		Entries: []proto.LogEntry{stateEntry(2, 3, 99)}})
+	if resp.OK {
+		t.Fatal("rewrite of a committed slot accepted")
+	}
+	if st, ok := r.CommittedState(); !ok || st.Epoch != 2 {
+		t.Fatalf("committed state damaged by refused rewrite: %+v ok=%v", st, ok)
+	}
+	// Idempotent re-send of the committed entry is fine.
+	if resp = r.HandleReplicate(proto.ReplicateReq{Term: 3, Leader: "x:3", Commit: 2,
+		Entries: []proto.LogEntry{stateEntry(2, 2, 2)}}); !resp.OK {
+		t.Fatalf("identical re-send of a committed entry refused: %+v", resp)
+	}
+	// Grow an uncommitted tail, then let a newer leader overwrite it.
+	if resp = r.HandleReplicate(proto.ReplicateReq{Term: 3, Leader: "x:3", Commit: 2,
+		Entries: []proto.LogEntry{stateEntry(3, 3, 3)}}); !resp.OK {
+		t.Fatalf("uncommitted append refused: %+v", resp)
+	}
+	resp = r.HandleReplicate(proto.ReplicateReq{Term: 4, Leader: "x:2", Commit: 3,
+		Entries: []proto.LogEntry{stateEntry(3, 4, 7)}})
+	if !resp.OK || resp.LastIndex != 3 {
+		t.Fatalf("legitimate overwrite of the uncommitted tail refused: %+v", resp)
+	}
+	if st, ok := r.CommittedState(); !ok || st.Epoch != 7 {
+		t.Fatalf("overwritten tail not committed: %+v ok=%v", st, ok)
+	}
+}
+
 func TestReplicaRedrivesInheritedChangeP(t *testing.T) {
 	enc := slimEncoder()
 	_, addrs := startNodes(t, enc, 2)

@@ -105,13 +105,32 @@ func (r *reader) bytes(what string) []byte {
 	return out
 }
 
+// TrailingBytesError is the strict decoders' trailer rejection. It is
+// typed because mixed-version peers branch on it: a server that
+// predates a trailing extension block rejects the extended encoding
+// this way, and the caller downgrades to the base form. The rendered
+// text matches the historic fmt.Errorf spelling exactly, so pre-code
+// peers that still match strings keep working.
+type TrailingBytesError struct {
+	What string // body name, e.g. "HealthReport"
+	N    int    // unread byte count
+}
+
+func (e *TrailingBytesError) Error() string {
+	return fmt.Sprintf("proto: %d trailing bytes after %s", e.N, e.What)
+}
+
+// WireErrorCode implements wire.ErrorCoder structurally (proto does not
+// import wire); the literal must match wire.CodeTrailingBytes.
+func (e *TrailingBytesError) WireErrorCode() string { return "trailing-bytes" }
+
 // remaining reports unread bytes; a strict decoder rejects trailers.
 func (r *reader) finish(what string) error {
 	if r.err != nil {
 		return r.err
 	}
 	if r.off != len(r.data) {
-		return fmt.Errorf("proto: %d trailing bytes after %s", len(r.data)-r.off, what)
+		return &TrailingBytesError{What: what, N: len(r.data) - r.off}
 	}
 	return nil
 }
@@ -347,7 +366,7 @@ func (PingReq) AppendWire(b []byte) []byte { return b }
 // DecodeWire implements wire.WireDecoder.
 func (*PingReq) DecodeWire(data []byte) error {
 	if len(data) != 0 {
-		return fmt.Errorf("proto: %d trailing bytes after PingReq", len(data))
+		return &TrailingBytesError{What: "PingReq", N: len(data)}
 	}
 	return nil
 }

@@ -104,13 +104,24 @@ type ReplicateResp struct {
 }
 
 // LeaseReq is a candidate's election request: grant me the leadership
-// lease for Term. LastIndex proves log completeness — a follower
-// refuses candidates whose log is behind its own commit, so an elected
-// leader always holds every committed decision.
+// lease for Term. (LastTerm, LastIndex) identify the candidate's last
+// log entry; voters apply Raft's up-to-date rule — refuse any candidate
+// whose last entry is behind the voter's own, comparing terms first and
+// indexes only to break term ties — so an elected leader always holds
+// every committed decision. Index alone is not enough: a deposed leader
+// can sit on a long uncommitted tail whose INDEX passes while a voter's
+// committed entry at the same index carries a newer term.
+//
+// LastTerm is part of the base encoding, not a trailing extension:
+// member.lease and this field ship in the same release, so no deployed
+// voter predates it, and a short (pre-LastTerm) request failing a
+// strict decode denies the vote — the safe direction for an election
+// RPC.
 type LeaseReq struct {
 	Term      uint64 `json:"term"`
 	Candidate string `json:"candidate"`
 	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term"`
 }
 
 // LeaseResp answers an election request.
@@ -299,6 +310,7 @@ func (q LeaseReq) AppendWire(b []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(q.Candidate)))
 	b = append(b, q.Candidate...)
 	b = binary.AppendUvarint(b, q.LastIndex)
+	b = binary.AppendUvarint(b, q.LastTerm)
 	return b
 }
 
@@ -308,6 +320,7 @@ func (q *LeaseReq) DecodeWire(data []byte) error {
 	q.Term = r.uvarint("LeaseReq.Term")
 	q.Candidate = string(r.bytes("LeaseReq.Candidate"))
 	q.LastIndex = r.uvarint("LeaseReq.LastIndex")
+	q.LastTerm = r.uvarint("LeaseReq.LastTerm")
 	return r.finish("LeaseReq")
 }
 

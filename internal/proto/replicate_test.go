@@ -37,7 +37,7 @@ func TestReplicateGoldenRoundTrip(t *testing.T) {
 		{"ReplicateReq/heartbeat", ReplicateReq{Term: 9, Leader: "a:1", Commit: 44}, &ReplicateReq{}},
 		{"ReplicateResp/ack", ReplicateResp{Term: 5, OK: true, LastIndex: 13}, &ReplicateResp{}},
 		{"ReplicateResp/reject", ReplicateResp{Term: 8}, &ReplicateResp{}},
-		{"LeaseReq", LeaseReq{Term: 6, Candidate: "127.0.0.1:7002", LastIndex: 13}, &LeaseReq{}},
+		{"LeaseReq", LeaseReq{Term: 6, Candidate: "127.0.0.1:7002", LastIndex: 13, LastTerm: 5}, &LeaseReq{}},
 		{"LeaseResp/granted", LeaseResp{Term: 6, Granted: true, Leader: "127.0.0.1:7002", LastIndex: 13}, &LeaseResp{}},
 		{"LeaseResp/refused", LeaseResp{Term: 7, Leader: "127.0.0.1:7001"}, &LeaseResp{}},
 	}
@@ -129,7 +129,7 @@ func FuzzDecodeReplicate(f *testing.F) {
 
 // FuzzDecodeLease: same contract for the election bodies.
 func FuzzDecodeLease(f *testing.F) {
-	f.Add(LeaseReq{Term: 6, Candidate: "127.0.0.1:7002", LastIndex: 13}.AppendWire(nil))
+	f.Add(LeaseReq{Term: 6, Candidate: "127.0.0.1:7002", LastIndex: 13, LastTerm: 5}.AppendWire(nil))
 	f.Add(LeaseResp{Term: 6, Granted: true, Leader: "127.0.0.1:7002", LastIndex: 13}.AppendWire(nil))
 	f.Add(LeaseResp{Term: 7}.StripExt().AppendWire(nil))
 	f.Add([]byte{})

@@ -148,6 +148,11 @@ type frame struct {
 	codec  byte
 	Body   []byte
 	pooled *[]byte
+	// local marks a synthetic frame fabricated on this side (eviction
+	// failing in-flight calls). Its Err is a TRANSPORT failure and must
+	// not be surfaced as a RemoteError — remote errors are exactly the
+	// ones the server's handler reported.
+	local bool
 }
 
 func (f *frame) isCancel() bool { return f.kind == kindCancel }

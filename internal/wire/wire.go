@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,100 @@ const cancelMethod = "wire.cancel"
 // are only valid for the duration of the call — Decode copies whatever
 // the request struct retains, so decode-then-use handlers need no care.
 type Handler func(ctx context.Context, method string, body Body) (interface{}, error)
+
+// --- typed remote errors ---
+//
+// A handler error crosses the wire as text, which is fine for humans
+// but not for clients that must branch on the failure class (the
+// mixed-version downgrade ladders). Matching prose is fragile: a proxy
+// error can embed the same words, and a reworded message silently
+// breaks the branch. So errors that implement ErrorCoder are sent with
+// a stable machine-readable marker — "[code] " prefixed to the text —
+// and the client hands the parsed class back in RemoteError.Code.
+// Uncoded errors (and errors from pre-code servers) travel unchanged
+// with Code "".
+
+// Error codes attached by this package and by body decoders. The wire
+// contract for a code is 1-32 bytes of lowercase ASCII letters and
+// dashes.
+const (
+	// CodeUnknownMethod: the server has no handler for the method — the
+	// signal that the peer predates an RPC entirely.
+	CodeUnknownMethod = "unknown-method"
+	// CodeTrailingBytes: a strict body decoder rejected unread trailing
+	// bytes — the signal that the request carries a trailing extension
+	// block the server predates (declared by proto.TrailingBytesError,
+	// which must keep this literal in sync).
+	CodeTrailingBytes = "trailing-bytes"
+)
+
+// ErrorCoder is implemented by handler errors that carry a
+// machine-readable class. Checked with errors.As, so wrapped errors
+// keep their code.
+type ErrorCoder interface{ WireErrorCode() string }
+
+// UnknownMethodError is the Dispatcher's rejection of an unregistered
+// method. It crosses the wire as CodeUnknownMethod.
+type UnknownMethodError struct{ Method string }
+
+func (e *UnknownMethodError) Error() string {
+	return fmt.Sprintf("wire: unknown method %q", e.Method)
+}
+
+func (e *UnknownMethodError) WireErrorCode() string { return CodeUnknownMethod }
+
+// RemoteError is a failure the remote HANDLER reported — as opposed to
+// a transport failure (dial, framing, connection loss), which never
+// produces one. Callers distinguish "the server answered and said no"
+// from "the network ate the call" with errors.As. Code carries the
+// machine-readable class when the server attached one; "" otherwise
+// (uncoded errors, or a pre-code server).
+type RemoteError struct {
+	Method string
+	Code   string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string { return "wire: " + e.Method + ": " + e.Msg }
+
+// validErrCode bounds codes to the wire contract.
+func validErrCode(code string) bool {
+	if len(code) == 0 || len(code) > 32 {
+		return false
+	}
+	for i := 0; i < len(code); i++ {
+		c := code[i]
+		if c != '-' && (c < 'a' || c > 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+// errorText renders a handler error for the response frame, prefixing
+// the "[code] " marker when the error declares a valid code.
+func errorText(err error) string {
+	var ec ErrorCoder
+	if errors.As(err, &ec) {
+		if code := ec.WireErrorCode(); validErrCode(code) {
+			return "[" + code + "] " + err.Error()
+		}
+	}
+	return err.Error()
+}
+
+// parseRemoteError turns a response frame's error text into the typed
+// form, splitting off the "[code] " marker when present. A bracketed
+// prefix that is not a valid code stays in the message — an organic
+// bracket, not a contract violation.
+func parseRemoteError(method, text string) *RemoteError {
+	if strings.HasPrefix(text, "[") {
+		if i := strings.IndexByte(text, ']'); i > 1 && i+1 < len(text) && text[i+1] == ' ' && validErrCode(text[1:i]) {
+			return &RemoteError{Method: method, Code: text[1:i], Msg: text[i+2:]}
+		}
+	}
+	return &RemoteError{Method: method, Msg: text}
+}
 
 // ServerConfig tunes a server.
 type ServerConfig struct {
@@ -223,7 +318,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			out, err := s.handler(rctx, req.Type, Body{codec: req.codec, data: req.Body})
 			var bodyBuf *[]byte
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err = errorText(err)
 			} else if out != nil {
 				bodyBuf = getBuf()
 				data, codec, eerr := encodeBody(out, binMode.Load(), *bodyBuf)
@@ -506,7 +601,7 @@ func (c *Client) evict(i int, cc *clientConn, cause error) {
 	cc.pmu.Lock()
 	defer cc.pmu.Unlock()
 	for id, ch := range cc.pending {
-		ch <- &frame{ID: id, kind: kindResponse, Err: fmt.Sprintf("wire: connection lost: %v", cause)}
+		ch <- &frame{ID: id, kind: kindResponse, Err: fmt.Sprintf("wire: connection lost: %v", cause), local: true}
 		delete(cc.pending, id)
 	}
 }
@@ -597,7 +692,10 @@ func (c *Client) Call(ctx context.Context, method string, in, out interface{}) e
 	case f := <-ch:
 		defer f.release()
 		if f.Err != "" {
-			return fmt.Errorf("wire: %s: %s", method, f.Err)
+			if f.local {
+				return errors.New(f.Err) // transport failure, not a handler verdict
+			}
+			return parseRemoteError(method, f.Err)
 		}
 		if err := decodeInto(f, out); err != nil {
 			return fmt.Errorf("wire: decoding %s response: %w", method, err)
@@ -631,7 +729,7 @@ func (d *Dispatcher) Handle(ctx context.Context, method string, body Body) (inte
 	h, ok := d.handlers[method]
 	d.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("wire: unknown method %q", method)
+		return nil, &UnknownMethodError{Method: method}
 	}
 	return h(ctx, method, body)
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -70,6 +71,43 @@ func TestUnknownMethod(t *testing.T) {
 	defer c.Close()
 	if err := c.Call(context.Background(), "nope", nil, nil); err == nil {
 		t.Fatal("unknown method should error")
+	}
+}
+
+// TestRemoteErrorCodeRoundTrip: errors a handler reports with a
+// WireErrorCode cross the wire typed — the client surfaces a
+// *RemoteError carrying the code, so callers classify by evidence
+// instead of matching error prose. Plain handler errors arrive as
+// RemoteError with no code; the historic text is preserved either way.
+func TestRemoteErrorCodeRoundTrip(t *testing.T) {
+	_, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+
+	err := c.Call(context.Background(), "nope", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown method error is not a RemoteError: %v", err)
+	}
+	if re.Code != CodeUnknownMethod {
+		t.Errorf("code = %q, want %q", re.Code, CodeUnknownMethod)
+	}
+	if re.Method != "nope" {
+		t.Errorf("method = %q, want nope", re.Method)
+	}
+	if want := `wire: nope: wire: unknown method "nope"`; err.Error() != want {
+		t.Errorf("error text changed: %q, want %q", err.Error(), want)
+	}
+
+	err = c.Call(context.Background(), "fail", nil, nil)
+	if !errors.As(err, &re) {
+		t.Fatalf("handler error is not a RemoteError: %v", err)
+	}
+	if re.Code != "" {
+		t.Errorf("uncoded handler error grew a code %q", re.Code)
+	}
+	if re.Msg != "deliberate failure" {
+		t.Errorf("msg = %q", re.Msg)
 	}
 }
 
