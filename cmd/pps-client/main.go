@@ -18,6 +18,11 @@
 //
 //	pps-client -keyseed 1 -frontend 127.0.0.1:8000 -keyword w00012 \
 //	    -count 1000 -concurrency 64 -pool 4
+//
+// Write a corpus through the async ingest path (docs/INGEST.md; the
+// member must run with -wal):
+//
+//	pps-client -frontend 127.0.0.1:8000 -put corpus.dat
 package main
 
 import (
@@ -47,6 +52,8 @@ func main() {
 		out      = flag.String("out", "corpus.dat", "output file for -gen")
 		member   = flag.String("member", "", "membership address for -load")
 		load     = flag.String("load", "", "corpus file for the membership server to load")
+		put      = flag.String("put", "", "corpus file to write through the frontend's async ingest (fe.put); requires -frontend and a WAL-enabled member")
+		wait     = flag.Bool("wait", true, "with -put: poll until the delivery watermark covers the batch")
 		fe       = flag.String("frontend", "", "frontend address for queries")
 		keyword  = flag.String("keyword", "", "content keyword to search")
 		path     = flag.String("path", "", "path component to search")
@@ -81,6 +88,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("membership loaded %d records\n", resp.Records)
+	case *put != "":
+		if *fe == "" {
+			fatal(fmt.Errorf("-put requires -frontend"))
+		}
+		if err := asyncPut(*fe, *put, *wait); err != nil {
+			fatal(err)
+		}
 	case *fe != "":
 		var req proto.FEQueryReq
 		if *terms != "" {
@@ -184,6 +198,44 @@ func generate(enc *pps.Encoder, n int, out, idxOut string) error {
 		}
 		fmt.Printf("wrote matching index segment to %s\n", idxOut)
 	}
+	return nil
+}
+
+// asyncPut streams a corpus file through the frontend's async ingest
+// (fe.put). Each batch's reply means the records are fsynced into the
+// coordinator's WAL — acceptance, not delivery; with wait, the delivery
+// watermark is polled until the owning nodes have the whole file.
+func asyncPut(addr, path string, wait bool) error {
+	recs, err := store.LoadFile(context.Background(), path)
+	if err != nil {
+		return err
+	}
+	cl := wire.NewClient(addr)
+	defer cl.Close()
+	const batch = 256
+	var last proto.FEPutResp
+	start := time.Now()
+	for at := 0; at < len(recs); at += batch {
+		end := min(at+batch, len(recs))
+		if err := cl.Call(context.Background(), proto.MFEPut,
+			proto.FEPutReq{Records: recs[at:end]}, &last); err != nil {
+			return fmt.Errorf("fe.put batch at %d: %w", at, err)
+		}
+	}
+	fmt.Printf("accepted %d records (WAL seq %d, drained %d) in %v\n",
+		len(recs), last.Seq, last.Drained, time.Since(start).Round(time.Millisecond))
+	if !wait {
+		return nil
+	}
+	for last.Drained < last.Seq {
+		time.Sleep(100 * time.Millisecond)
+		var poll proto.FEPutResp
+		if err := cl.Call(context.Background(), proto.MFEPut, proto.FEPutReq{}, &poll); err != nil {
+			return err
+		}
+		last.Drained = poll.Drained
+	}
+	fmt.Printf("drained through seq %d in %v\n", last.Seq, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -109,6 +109,20 @@ func main() {
 			SubQueries: res.SubQueries, Failures: res.Failures, Hedges: res.Hedges,
 		}, nil
 	})
+	d.Register(proto.MFEPut, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
+		// Async put: forward the batch to the coordinator's durable
+		// ingest WAL. The reply means the records are fsynced there;
+		// delivery to the owning nodes happens behind the WAL.
+		var req proto.FEPutReq
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		resp, err := sy.Ingest(ctx, req.Records)
+		if err != nil {
+			return nil, err
+		}
+		return proto.FEPutResp{Seq: resp.Seq, Drained: resp.Drained}, nil
+	})
 	srv, err := wire.Serve(*listen, d.Handle)
 	if err != nil {
 		fatal(err)

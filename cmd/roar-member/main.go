@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"roar/internal/ingest"
 	"roar/internal/membership"
 	"roar/internal/proto"
 	"roar/internal/ring"
@@ -38,6 +39,8 @@ func main() {
 		qThresh  = flag.Float64("quarantine-threshold", 0, "failure-evidence score that quarantines a node (0 = default 3)")
 		qRecover = flag.Float64("quarantine-recover", 0, "score at which a quarantined node is re-admitted (default 0)")
 		qMaxFrac = flag.Float64("quarantine-max-fraction", 0, "refuse to quarantine beyond this fraction of nodes (0 = default 0.5)")
+
+		walDir = flag.String("wal", "", "durable ingest WAL directory — enables member.ingest (async writes); replicas must share it")
 
 		peers     = flag.String("peers", "", "comma-separated replica addresses (including this one) — enables the replicated control plane")
 		self      = flag.String("self", "", "this replica's advertised address (default: -listen)")
@@ -65,6 +68,19 @@ func main() {
 			MaxQuarantineFraction: *qMaxFrac,
 		},
 	}
+	// Replica sets open the shared WAL directory lazily on winning an
+	// election (ReplicaConfig.OpenWAL below): opening here would race
+	// the peer processes on segment creation, and a follower's handle
+	// would go stale the moment the leader appends. Standalone has no
+	// peers to race, so it opens eagerly.
+	if *walDir != "" && *peers == "" {
+		wal, err := ingest.Open(*walDir, ingest.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer wal.Close()
+		coordCfg.WAL = wal
+	}
 	asCfg := membership.AutoscaleConfig{
 		DryRun:             *asDryRun,
 		Interval:           *asInterval,
@@ -90,7 +106,7 @@ func main() {
 	}
 
 	if *peers != "" {
-		runReplica(*listen, *self, *peers, *lease, *heartbeat, coordCfg, asCfg, *autoscale || *asDryRun, logAutoscale)
+		runReplica(*listen, *self, *peers, *lease, *heartbeat, *walDir, coordCfg, asCfg, *autoscale || *asDryRun, logAutoscale)
 		return
 	}
 
@@ -99,6 +115,13 @@ func main() {
 		fatal(err)
 	}
 	defer coord.Close()
+	if coordCfg.WAL != nil {
+		// Standalone coordinator: recover the backend from the WAL and
+		// start the drain immediately (no election to wait for).
+		if err := coord.StartIngest(membership.IngestConfig{Logf: log.Printf}); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *autoscale || *asDryRun {
 		as := coord.NewAutoscaler(asCfg)
@@ -171,6 +194,17 @@ func main() {
 		}
 		return coord.ReportHealth(req), nil
 	})
+	d.Register(proto.MMemberIngest, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
+		var req proto.IngestReq
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		seq, err := coord.IngestAppend(ctx, req.Records)
+		if err != nil {
+			return nil, err
+		}
+		return proto.IngestResp{Seq: seq, Drained: coord.IngestDrained()}, nil
+	})
 
 	srv, err := wire.Serve(*listen, d.Handle)
 	if err != nil {
@@ -184,7 +218,7 @@ func main() {
 }
 
 // runReplica serves one member of the replicated control plane.
-func runReplica(listen, self, peerList string, lease, heartbeat time.Duration,
+func runReplica(listen, self, peerList string, lease, heartbeat time.Duration, walDir string,
 	coordCfg membership.Config, asCfg membership.AutoscaleConfig, runAutoscale bool, logAutoscale func()) {
 	if self == "" {
 		self = listen
@@ -195,12 +229,18 @@ func runReplica(listen, self, peerList string, lease, heartbeat time.Duration,
 			peers = append(peers, p)
 		}
 	}
+	var openWAL func() (*ingest.WAL, error)
+	if walDir != "" {
+		openWAL = func() (*ingest.WAL, error) { return ingest.Open(walDir, ingest.Options{}) }
+	}
 	rep, err := membership.NewReplica(membership.ReplicaConfig{
 		Self:        self,
 		Peers:       peers,
 		Lease:       lease,
 		Heartbeat:   heartbeat,
 		Coordinator: coordCfg,
+		Ingest:      membership.IngestConfig{Logf: log.Printf},
+		OpenWAL:     openWAL,
 		Logf:        log.Printf,
 	})
 	if err != nil {

@@ -171,6 +171,13 @@ func DefaultTracked() []GateMetric {
 		// shedding even one query is a wiring regression, not noise.
 		{Bench: "BenchmarkFailover", Unit: "ms-to-leader", Threshold: 1.5},
 		{Bench: "BenchmarkFailover", Unit: "queries-shed"}, // zero-shed: hard invariant
+		// Durable ingest: WAL append (fsync-bound, so group commit is
+		// what keeps it fast), consumer drain rate, and the cold
+		// recovery + replay scan of the 10k-record acceptance arc. All
+		// wall-clock and disk-bound — budgets sized for runner variance.
+		{Bench: "BenchmarkIngest/append", Unit: "append-recs/s", HigherBetter: true, Threshold: 0.5},
+		{Bench: "BenchmarkIngest/drain", Unit: "drain-batches/s", HigherBetter: true, Threshold: 0.5},
+		{Bench: "BenchmarkIngest/replay", Unit: "replay-ms-10k", Threshold: 1.5},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"roar/internal/frontend"
+	"roar/internal/ingest"
 	"roar/internal/membership"
 	"roar/internal/node"
 	"roar/internal/pps"
@@ -59,6 +60,12 @@ type Options struct {
 	// FullEncoding selects the paper-sized encoder (500B metadata).
 	FullEncoding bool
 
+	// IngestDir, when set, opens a durable ingest WAL there and starts
+	// the drain consumer — enables Cluster.IngestPut. Use t.TempDir().
+	IngestDir string
+	// IngestBatch caps records per drain round (0 = consumer default).
+	IngestBatch int
+
 	Seed int64
 }
 
@@ -75,6 +82,7 @@ type Cluster struct {
 	servers  []*wire.Server
 	ids      []ring.NodeID
 	extraFEs []*frontend.Frontend
+	wal      *ingest.WAL
 	rng      *rand.Rand
 }
 
@@ -109,11 +117,24 @@ func Start(opts Options) (*Cluster, error) {
 	// material, and a shared key lets callers reuse encrypted corpora.
 	enc := pps.NewEncoder(pps.TestKey(1), encCfg)
 
-	coord, err := membership.New(membership.Config{Rings: opts.Rings, P: opts.P, Tuning: opts.Tuning, Health: opts.Health})
+	coordCfg := membership.Config{Rings: opts.Rings, P: opts.P, Tuning: opts.Tuning, Health: opts.Health}
+	var wal *ingest.WAL
+	if opts.IngestDir != "" {
+		var err error
+		wal, err = ingest.Open(opts.IngestDir, ingest.Options{})
+		if err != nil {
+			return nil, err
+		}
+		coordCfg.WAL = wal
+	}
+	coord, err := membership.New(coordCfg)
 	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
 		return nil, err
 	}
-	c := &Cluster{Enc: enc, Coord: coord, rng: rand.New(rand.NewSource(opts.Seed))}
+	c := &Cluster{Enc: enc, Coord: coord, wal: wal, rng: rand.New(rand.NewSource(opts.Seed))}
 
 	for i := 0; i < opts.Nodes; i++ {
 		ncfg := node.Config{
@@ -159,7 +180,26 @@ func Start(opts Options) (*Cluster, error) {
 	if opts.Autoscale != nil {
 		c.AS = coord.NewAutoscaler(*opts.Autoscale)
 	}
+	if wal != nil {
+		if err := coord.StartIngest(membership.IngestConfig{Batch: opts.IngestBatch}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// IngestPut appends records to the durable ingest WAL (requires
+// Options.IngestDir) and returns the sequence of the last one; delivery
+// to the owning nodes is asynchronous — WaitIngestDrained blocks on it.
+func (c *Cluster) IngestPut(ctx context.Context, recs ...pps.Encoded) (uint64, error) {
+	return c.Coord.IngestAppend(ctx, recs)
+}
+
+// WaitIngestDrained blocks until every record with sequence <= seq has
+// been delivered to all of its owners, or ctx ends.
+func (c *Cluster) WaitIngestDrained(ctx context.Context, seq uint64) error {
+	return c.Coord.WaitIngestDrained(ctx, seq)
 }
 
 // StepAutoscale runs one elasticity-controller evaluation and, when it
@@ -249,6 +289,9 @@ func (c *Cluster) Close() {
 	}
 	if c.Coord != nil {
 		c.Coord.Close()
+	}
+	if c.wal != nil {
+		c.wal.Close()
 	}
 	for _, s := range c.servers {
 		if s != nil {

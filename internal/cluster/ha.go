@@ -17,6 +17,7 @@ import (
 
 	"roar/internal/coordclient"
 	"roar/internal/frontend"
+	"roar/internal/ingest"
 	"roar/internal/membership"
 	"roar/internal/node"
 	"roar/internal/pps"
@@ -38,6 +39,13 @@ type HAOptions struct {
 
 	Frontend frontend.Config
 	Health   membership.HealthConfig
+	// IngestDir, when set, opens one durable ingest WAL shared by every
+	// replica — like the shared backend store, the stand-in for the
+	// paper's shared corpus storage. Only the leader drains it; a new
+	// leader resumes from the replicated watermark.
+	IngestDir string
+	// IngestBatch caps records per drain round (0 = consumer default).
+	IngestBatch int
 	// OnIntentCommitted is the ChangeP crash-point hook, installed on
 	// every replica (leaders fire it; see membership.ReplicaConfig).
 	OnIntentCommitted func(newP int)
@@ -63,6 +71,7 @@ type HACluster struct {
 	killed      []bool
 	nodes       []*node.Node
 	nodeSrvs    []*wire.Server
+	wal         *ingest.WAL
 	rng         *rand.Rand
 }
 
@@ -84,6 +93,13 @@ func StartHA(opts HAOptions) (*HACluster, error) {
 	c := &HACluster{Enc: enc, rng: rand.New(rand.NewSource(opts.Seed))}
 
 	backend := store.New()
+	if opts.IngestDir != "" {
+		wal, err := ingest.Open(opts.IngestDir, ingest.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c.wal = wal
+	}
 	lns := make([]net.Listener, opts.Replicas)
 	c.addrs = make([]string, opts.Replicas)
 	for i := range lns {
@@ -106,7 +122,9 @@ func StartHA(opts HAOptions) (*HACluster, error) {
 				Rings: opts.Rings, P: opts.P,
 				Health:  opts.Health,
 				Backend: backend,
+				WAL:     c.wal,
 			},
+			Ingest:            membership.IngestConfig{Batch: opts.IngestBatch, Logf: opts.Logf},
 			Logf:              opts.Logf,
 			OnIntentCommitted: opts.OnIntentCommitted,
 		})
@@ -238,6 +256,43 @@ func (c *HACluster) LoadEncoded(recs []pps.Encoded) error {
 	return fmt.Errorf("cluster: corpus load never landed: %w", err)
 }
 
+// IngestPut appends records through the current leader's durable ingest
+// WAL (requires HAOptions.IngestDir), failing over with the shared
+// coordclient — a mid-append failover surfaces as a retriable error,
+// which this helper absorbs (record-ID dedup makes re-appending safe).
+func (c *HACluster) IngestPut(ctx context.Context, recs ...pps.Encoded) (proto.IngestResp, error) {
+	var resp proto.IngestResp
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if resp, err = c.Syncer.Ingest(ctx, recs); err == nil {
+			return resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return proto.IngestResp{}, ctx.Err()
+		case <-time.After(20 * time.Millisecond): //lint:allow wallclock — harness retries across real elections
+		}
+	}
+	return proto.IngestResp{}, fmt.Errorf("cluster: ingest append never landed: %w", err)
+}
+
+// WaitIngestDrained polls the leader's delivery watermark until it
+// reaches seq or ctx ends, surviving failovers in between.
+func (c *HACluster) WaitIngestDrained(ctx context.Context, seq uint64) error {
+	for {
+		if l := c.Leader(); l != nil {
+			if drained, err := l.IngestDrained(); err == nil && drained >= seq {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: ingest drain did not reach %d: %w", seq, ctx.Err())
+		case <-time.After(10 * time.Millisecond): //lint:allow wallclock — harness polls real drain progress
+		}
+	}
+}
+
 // Nodes returns the in-process node handles.
 func (c *HACluster) Nodes() []*node.Node { return c.nodes }
 
@@ -263,5 +318,8 @@ func (c *HACluster) Close() {
 		if s != nil {
 			s.Close()
 		}
+	}
+	if c.wal != nil {
+		c.wal.Close()
 	}
 }

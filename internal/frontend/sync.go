@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/wire"
 )
@@ -180,6 +181,21 @@ func downgradeSignal(err error) (legacy, noExt bool) {
 		return false, true
 	}
 	return false, false
+}
+
+// Ingest forwards a client write batch to the coordinator's durable
+// ingest WAL (member.ingest) — the frontend's async put path. The reply
+// acknowledges durability; delivery to the owning nodes is asynchronous
+// (poll IngestResp.Drained against Seq when delivery matters). The
+// coordclient transport retries NotLeader redirects, so a failover
+// mid-append surfaces here only as a retriable error — record-ID dedup
+// makes the producer-side retry safe.
+func (s *Syncer) Ingest(ctx context.Context, recs []pps.Encoded) (proto.IngestResp, error) {
+	var resp proto.IngestResp
+	if err := s.mc.Call(ctx, proto.MMemberIngest, proto.IngestReq{Records: recs}, &resp); err != nil {
+		return proto.IngestResp{}, err
+	}
+	return resp, nil
 }
 
 // PushHealthOnce ships one health report. When the coordinator's reply

@@ -1,0 +1,11 @@
+package ingest
+
+import (
+	"testing"
+
+	"roar/internal/testutil/leakcheck"
+)
+
+// TestMain gates the whole package's test binary on goroutine
+// hygiene: any test that leaves a goroutine running fails the run.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,71 @@
+package membership
+
+import (
+	"context"
+	"testing"
+
+	"roar/internal/node"
+	"roar/internal/wire"
+)
+
+// TestAddObjectCountsOnlySuccesses pins the write-path accounting fix:
+// AddObject must return the number of replicas the object actually
+// reached and advance the push counter by exactly that — a dead replica
+// is neither counted nor allowed to mask the successes after it.
+func TestAddObjectCountsOnlySuccesses(t *testing.T) {
+	// P=1: the replication arc is the whole ring, so every node is a
+	// replica of every object and the expected counts are exact.
+	c, err := New(Config{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	enc := slimEncoder()
+	var srvs []*wire.Server
+	for i := 0; i < 3; i++ {
+		nd, err := node.New(node.Config{Params: enc.ServerParams()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := nd.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srvs = append(srvs, srv)
+		if _, err := c.Join(context.Background(), srv.Addr(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := corpus(t, enc, 3)
+
+	// Healthy: all three replicas take the object.
+	n, err := c.AddObject(context.Background(), recs[0])
+	if err != nil {
+		t.Fatalf("healthy AddObject: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("healthy AddObject reached %d replicas, want 3", n)
+	}
+	pushed := c.ObjectsPushed()
+	if pushed != 3 {
+		t.Fatalf("ObjectsPushed = %d after one healthy add, want 3", pushed)
+	}
+
+	// Kill one replica's server. The add must report the failure AND
+	// the true success count — and keep attempting the replicas after
+	// the dead one rather than bailing.
+	if err := srvs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err = c.AddObject(context.Background(), recs[1])
+	if err == nil {
+		t.Fatal("AddObject with a dead replica returned nil error")
+	}
+	if n != 2 {
+		t.Fatalf("AddObject with one dead replica reached %d, want 2", n)
+	}
+	if got := c.ObjectsPushed() - pushed; got != 2 {
+		t.Fatalf("push counter advanced by %d with one dead replica, want 2 (successes only)", got)
+	}
+}

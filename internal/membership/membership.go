@@ -12,9 +12,12 @@ package membership
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
+	"roar/internal/ingest"
 	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/ring"
@@ -43,6 +46,12 @@ type Config struct {
 	// Health tunes the failure/overload control loop (health.go).
 	// Zero values use the documented defaults.
 	Health HealthConfig
+	// WAL, when set, enables the durable ingest pipeline (ingest.go):
+	// IngestAppend accepts writes into it and StartIngest drains them
+	// to the owning nodes asynchronously. Replicated coordinators point
+	// every replica at the same WAL (like Backend) so a newly elected
+	// leader resumes the drain from the replicated watermark.
+	WAL *ingest.WAL
 }
 
 // Coordinator is the membership server.
@@ -63,6 +72,17 @@ type Coordinator struct {
 
 	backend *store.Store // full corpus
 	health  *healthState // failure-evidence aggregation (health.go)
+
+	// Durable ingest pipeline (ingest.go): wal buffers accepted writes,
+	// consumer drains them, ingestSeq/ingestDrained are the accepted and
+	// delivered watermarks. putLegacy latches nodes that rejected the
+	// epoch-fenced PutReq extension (mixed-version downgrade, per node).
+	wal           *ingest.WAL
+	ownsWAL       bool // opened for this coordinator alone; Close closes it
+	consumer      *ingest.Consumer
+	ingestSeq     uint64
+	ingestDrained uint64
+	putLegacy     map[ring.NodeID]bool
 
 	// Transfer accounting for the reconfiguration experiments.
 	objectsPushed int64
@@ -87,16 +107,18 @@ func New(cfg Config) (*Coordinator, error) {
 		backend = store.New()
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		ringOf:   map[ring.NodeID]int{},
-		addrs:    map[ring.NodeID]string{},
-		speeds:   map[ring.NodeID]float64{},
-		racks:    map[ring.NodeID]string{},
-		clients:  map[ring.NodeID]*wire.Client{},
-		disabled: map[int]bool{},
-		p:        cfg.P,
-		backend:  backend,
-		health:   newHealthState(cfg.Health),
+		cfg:       cfg,
+		ringOf:    map[ring.NodeID]int{},
+		addrs:     map[ring.NodeID]string{},
+		speeds:    map[ring.NodeID]float64{},
+		racks:     map[ring.NodeID]string{},
+		clients:   map[ring.NodeID]*wire.Client{},
+		disabled:  map[int]bool{},
+		p:         cfg.P,
+		backend:   backend,
+		health:    newHealthState(cfg.Health),
+		wal:       cfg.WAL,
+		putLegacy: map[ring.NodeID]bool{},
 	}
 	for k := 0; k < cfg.Rings; k++ {
 		c.rings = append(c.rings, ring.New())
@@ -104,8 +126,14 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close shuts node clients.
+// Close stops the ingest drain and shuts node clients. The consumer is
+// stopped before taking mu: its drain goroutine routes through mu, so
+// stopping it under the lock would deadlock.
 func (c *Coordinator) Close() {
+	c.StopIngest()
+	if c.ownsWAL && c.wal != nil {
+		c.wal.Close()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, cl := range c.clients {
@@ -175,12 +203,18 @@ func (c *Coordinator) LoadCorpus(ctx context.Context, recs []pps.Encoded) error 
 }
 
 // AddObject stores one new object and pushes it to its current replica
-// set — the update path whose cost grows with r (Fig 7.4).
+// set — the update path whose cost grows with r (Fig 7.4). It returns
+// the number of replicas the object actually reached: nil clients and
+// failed pushes do not count, and the push counter advances only for
+// deliveries that succeeded. On error the successes made before (and
+// after — the remaining targets are still attempted) are all included,
+// so the caller knows the true replication factor achieved.
 func (c *Coordinator) AddObject(ctx context.Context, rec pps.Encoded) (replicas int, err error) {
 	c.mu.Lock()
 	c.backend.Insert(rec)
 	pt := store.PointOf(rec.ID)
 	repl := ring.ReplicationArc(pt, c.p)
+	epoch := c.epoch
 	var targets []ring.NodeID
 	for k, r := range c.rings {
 		if c.disabled[k] {
@@ -192,17 +226,27 @@ func (c *Coordinator) AddObject(ctx context.Context, rec pps.Encoded) (replicas 
 	for _, id := range targets {
 		clients = append(clients, c.clients[id])
 	}
-	c.objectsPushed += int64(len(targets))
 	c.mu.Unlock()
+	var firstErr error
 	for i, cl := range clients {
 		if cl == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("membership: no client for node %d", targets[i])
+			}
 			continue
 		}
-		if err := cl.Call(ctx, proto.MNodePut, proto.PutReq{Records: []pps.Encoded{rec}}, nil); err != nil {
-			return i, fmt.Errorf("membership: pushing object %d: %w", rec.ID, err)
+		if perr := c.putRecords(ctx, cl, targets[i], epoch, []pps.Encoded{rec}); perr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("membership: pushing object %d: %w", rec.ID, perr)
+			}
+			continue
 		}
+		replicas++
 	}
-	return len(targets), nil
+	c.mu.Lock()
+	c.objectsPushed += int64(replicas)
+	c.mu.Unlock()
+	return replicas, firstErr
 }
 
 func (c *Coordinator) allNodesLocked() []ring.NodeID {
@@ -440,6 +484,7 @@ func (c *Coordinator) ChangeP(ctx context.Context, newP int) error {
 		c.mu.Lock()
 		arc, _, err := c.nodeRangeLocked(id)
 		cl := c.clients[id]
+		epoch := c.epoch
 		c.mu.Unlock()
 		if err != nil {
 			return err
@@ -448,7 +493,7 @@ func (c *Coordinator) ChangeP(ctx context.Context, newP int) error {
 		hi := arc.Start.Add(-1 / float64(oldP))
 		_ = grow
 		recs := c.backend.InArc(lo, hi)
-		if err := c.pushRecords(ctx, cl, id, recs); err != nil {
+		if err := c.pushRecords(ctx, cl, id, epoch, recs); err != nil {
 			return err
 		}
 	}
@@ -586,6 +631,7 @@ func (c *Coordinator) pushStored(ctx context.Context, id ring.NodeID) error {
 	arc, _, err := c.nodeRangeLocked(id)
 	cl := c.clients[id]
 	p := c.p
+	epoch := c.epoch
 	c.mu.Unlock()
 	if err != nil {
 		return err
@@ -597,10 +643,10 @@ func (c *Coordinator) pushStored(ctx context.Context, id ring.NodeID) error {
 	} else {
 		recs = c.backend.InArc(arc.Start.Add(-repl), arc.End())
 	}
-	return c.pushRecords(ctx, cl, id, recs)
+	return c.pushRecords(ctx, cl, id, epoch, recs)
 }
 
-func (c *Coordinator) pushRecords(ctx context.Context, cl *wire.Client, id ring.NodeID, recs []pps.Encoded) error {
+func (c *Coordinator) pushRecords(ctx context.Context, cl *wire.Client, id ring.NodeID, epoch int, recs []pps.Encoded) error {
 	if cl == nil {
 		return fmt.Errorf("membership: no client for node %d", id)
 	}
@@ -610,7 +656,7 @@ func (c *Coordinator) pushRecords(ctx context.Context, cl *wire.Client, id ring.
 		if end > len(recs) {
 			end = len(recs)
 		}
-		if err := cl.Call(ctx, proto.MNodePut, proto.PutReq{Records: recs[off:end]}, nil); err != nil {
+		if err := c.putRecords(ctx, cl, id, epoch, recs[off:end]); err != nil {
 			return fmt.Errorf("membership: pushing to node %d: %w", id, err)
 		}
 	}
@@ -620,13 +666,57 @@ func (c *Coordinator) pushRecords(ctx context.Context, cl *wire.Client, id ring.
 	return nil
 }
 
+// putLegacySignal reports whether a put failure is a pre-extension
+// node's rejection of the epoch fence. Only an error the remote HANDLER
+// reported classifies (same evidence rule as frontend.downgradeSignal):
+// the typed code is authoritative, the bare-string fallback accepts the
+// exact spelling of nodes that predate error codes.
+func putLegacySignal(err error) bool {
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	switch re.Code {
+	case wire.CodeTrailingBytes:
+		return true
+	case "":
+		return strings.Contains(re.Msg, "trailing bytes after PutReq")
+	}
+	return false
+}
+
+// putRecords sends one epoch-fenced MNodePut. A node that rejects the
+// fence extension ("trailing bytes") is latched as legacy and re-sent
+// the unfenced base encoding — per node, so one old node in a rolling
+// upgrade does not strip the fence for the rest of the fleet.
+func (c *Coordinator) putRecords(ctx context.Context, cl *wire.Client, id ring.NodeID, epoch int, recs []pps.Encoded) error {
+	c.mu.Lock()
+	legacy := c.putLegacy[id]
+	c.mu.Unlock()
+	req := proto.PutReq{Records: recs, Epoch: epoch}
+	if legacy {
+		req.Epoch = 0
+	}
+	err := cl.Call(ctx, proto.MNodePut, req, nil)
+	if err == nil || legacy || !putLegacySignal(err) {
+		return err
+	}
+	c.mu.Lock()
+	c.putLegacy[id] = true
+	c.mu.Unlock()
+	req.Epoch = 0
+	return cl.Call(ctx, proto.MNodePut, req, nil)
+}
+
 // sendRetain tells a node its current range and p so it trims excess
-// replicas.
+// replicas. It carries the publishing epoch so the node's fence
+// advances with the placement (JSON body; old nodes ignore the field).
 func (c *Coordinator) sendRetain(ctx context.Context, id ring.NodeID) error {
 	c.mu.Lock()
 	arc, _, err := c.nodeRangeLocked(id)
 	cl := c.clients[id]
 	p := c.p
+	epoch := c.epoch
 	c.mu.Unlock()
 	if err != nil {
 		return err
@@ -634,7 +724,7 @@ func (c *Coordinator) sendRetain(ctx context.Context, id ring.NodeID) error {
 	if cl == nil {
 		return fmt.Errorf("membership: no client for node %d", id)
 	}
-	req := proto.RetainReq{Start: float64(arc.Start), Length: arc.Length, P: p}
+	req := proto.RetainReq{Start: float64(arc.Start), Length: arc.Length, P: p, Epoch: epoch}
 	if err := cl.Call(ctx, proto.MNodeRetain, req, nil); err != nil {
 		return fmt.Errorf("membership: retain on node %d: %w", id, err)
 	}

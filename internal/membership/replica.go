@@ -59,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"roar/internal/ingest"
 	"roar/internal/pps"
 	"roar/internal/proto"
 	"roar/internal/ring"
@@ -132,6 +133,22 @@ type ReplicaConfig struct {
 	// hook chaos tests use to kill a leader mid-reconfiguration at the
 	// exact moment the intent is durable but the work is not.
 	OnIntentCommitted func(newP int)
+	// Ingest tunes the durable ingest drain the leader runs when
+	// Coordinator.WAL is set. The drained watermark replicates via the
+	// heartbeat (maybeReplicateIngest), NOT from Ingest.OnAdvance — the
+	// drain goroutine must never propose, because a failed propose steps
+	// the leader down and closing the coordinator waits for that very
+	// goroutine.
+	Ingest IngestConfig
+	// OpenWAL, when set, opens the shared ingest WAL lazily on winning
+	// an election (and the coordinator closes it on step-down). Separate
+	// processes sharing a WAL directory must use this rather than
+	// Coordinator.WAL: opening at startup would race the other replicas
+	// on segment creation, and a follower's handle would go stale the
+	// moment the leader appends. The lease keeps open handles exclusive
+	// the same way it keeps leaders exclusive. In-process replica sets
+	// (one *ingest.WAL shared by reference) keep using Coordinator.WAL.
+	OpenWAL func() (*ingest.WAL, error)
 }
 
 func (rc ReplicaConfig) withDefaults() ReplicaConfig {
@@ -433,21 +450,40 @@ func (r *Replica) becomeLeader(term uint64) {
 	if len(r.log) > 0 {
 		base, hasBase = r.log[len(r.log)-1].State, true
 	}
+	// Multi-process replica sets open the shared WAL only while leading
+	// (the lease that keeps leaders exclusive keeps writers exclusive);
+	// the fresh scan also picks up everything the previous leader wrote.
+	coordCfg := r.cfg.Coordinator
+	var wal *ingest.WAL
+	if r.cfg.OpenWAL != nil && coordCfg.WAL == nil {
+		var err error
+		if wal, err = r.cfg.OpenWAL(); err != nil {
+			r.role = RoleFollower
+			r.mu.Unlock()
+			r.logf("takeover aborted: ingest WAL: %v", err)
+			return
+		}
+		coordCfg.WAL = wal
+	}
 	var (
 		coord *Coordinator
 		err   error
 	)
 	if hasBase {
-		coord, err = NewFromState(r.cfg.Coordinator, base)
+		coord, err = NewFromState(coordCfg, base)
 	} else {
-		coord, err = New(r.cfg.Coordinator)
+		coord, err = New(coordCfg)
 	}
 	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
 		r.role = RoleFollower
 		r.mu.Unlock()
 		r.logf("takeover aborted: %v", err)
 		return
 	}
+	coord.ownsWAL = wal != nil
 	coord.SetEpochFloor(base.Epoch + 1)
 	r.role = RoleLeader
 	r.leader = r.cfg.Self
@@ -463,6 +499,16 @@ func (r *Replica) becomeLeader(term uint64) {
 	if err := r.propose(proto.EntryTakeover, st); err != nil {
 		r.logf("takeover barrier failed: %v", err)
 		return
+	}
+	// Resume the ingest drain from the replicated watermark: the old
+	// leader's drained-but-unreplicated tail (at most one heartbeat of
+	// lag) is re-delivered, and node-side dedup absorbs it.
+	if coord.IngestEnabled() {
+		if err := coord.StartIngest(r.cfg.Ingest); err != nil {
+			r.logf("ingest drain resume failed: %v", err)
+		} else {
+			r.logf("ingest drain resumed from watermark %d", coord.IngestDrained())
+		}
 	}
 	if pendingP != 0 {
 		// Finish the half-done ChangeP on a fresh goroutine: propose and
@@ -480,10 +526,31 @@ func (r *Replica) becomeLeader(term uint64) {
 	}
 }
 
+// maybeReplicateIngest commits the ingest drained watermark when it has
+// moved past the committed snapshot. Runs on the election loop's
+// goroutine (never the drain goroutine — see ReplicaConfig.Ingest), so
+// the watermark replicates at most one heartbeat behind delivery; the
+// lag re-delivers on failover and node-side dedup absorbs it.
+func (r *Replica) maybeReplicateIngest() {
+	c, err := r.leaderCoord()
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	committed := r.committed.IngestDrained
+	r.mu.Unlock()
+	if c.IngestDrained() > committed {
+		if err := r.proposeState(); err != nil {
+			r.logf("ingest watermark replication failed: %v", err)
+		}
+	}
+}
+
 // heartbeat runs one replication round: push the log tail (possibly
 // empty) to every peer. A majority of acknowledgments extends the
 // leader lease; a full lease without one steps the leader down.
 func (r *Replica) heartbeat() {
+	r.maybeReplicateIngest()
 	r.mu.Lock()
 	if r.role != RoleLeader {
 		r.mu.Unlock()
@@ -1005,22 +1072,64 @@ func (r *Replica) SetRingEnabled(ctx context.Context, k int, enabled bool) error
 }
 
 // LoadCorpus installs the corpus and pushes stored sets (leader-only;
-// the backend store itself is shared across replicas).
+// the backend store itself is shared across replicas). The closing
+// proposeState is the term fence: if this replica was deposed while
+// loading, the propose fails and the caller retries against the real
+// leader instead of trusting a corpus only a dead leadership saw.
 func (r *Replica) LoadCorpus(ctx context.Context, recs []pps.Encoded) error {
 	c, err := r.leaderCoord()
 	if err != nil {
 		return err
 	}
-	return c.LoadCorpus(ctx, recs)
+	if err := c.LoadCorpus(ctx, recs); err != nil {
+		return err
+	}
+	return r.proposeState()
 }
 
-// AddObject stores one new object and pushes it to its replica set.
+// AddObject stores one new object and pushes it to its replica set,
+// then fences the mutation with the current term: a deposed leader's
+// accepted object errors out (the backend insert itself is idempotent
+// on the shared store, so the retry against the new leader converges).
 func (r *Replica) AddObject(ctx context.Context, rec pps.Encoded) (int, error) {
 	c, err := r.leaderCoord()
 	if err != nil {
 		return 0, err
 	}
-	return c.AddObject(ctx, rec)
+	n, err := c.AddObject(ctx, rec)
+	if err != nil {
+		return n, err
+	}
+	return n, r.proposeState()
+}
+
+// IngestAppend durably accepts records into the leader's ingest WAL and
+// fences the acceptance with the current term before acknowledging: a
+// deposed leader's accepted batch errors out, the producer retries on
+// the new leader, and record-ID dedup absorbs the duplicate append.
+func (r *Replica) IngestAppend(ctx context.Context, recs []pps.Encoded) (proto.IngestResp, error) {
+	c, err := r.leaderCoord()
+	if err != nil {
+		return proto.IngestResp{}, err
+	}
+	seq, err := c.IngestAppend(ctx, recs)
+	if err != nil {
+		return proto.IngestResp{}, err
+	}
+	if err := r.proposeState(); err != nil {
+		return proto.IngestResp{}, err
+	}
+	return proto.IngestResp{Seq: seq, Drained: c.IngestDrained()}, nil
+}
+
+// IngestDrained reads the leader's live delivery watermark (read-only;
+// no log entry). Errors on a non-leader.
+func (r *Replica) IngestDrained() (uint64, error) {
+	c, err := r.leaderCoord()
+	if err != nil {
+		return 0, err
+	}
+	return c.IngestDrained(), nil
 }
 
 // ReportHealth folds a frontend health report into the aggregator and
@@ -1208,5 +1317,12 @@ func (r *Replica) RegisterHandlers(d *wire.Dispatcher) {
 			return nil, err
 		}
 		return r.ReportHealth(req)
+	})
+	d.Register(proto.MMemberIngest, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {
+		var req proto.IngestReq
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		return r.IngestAppend(ctx, req.Records)
 	})
 }

@@ -29,10 +29,11 @@ func (c *Coordinator) ExportState() proto.ControlState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := proto.ControlState{
-		Epoch:  c.epoch,
-		P:      c.p,
-		NextID: int(c.nextID),
-		Rings:  len(c.rings),
+		Epoch:         c.epoch,
+		P:             c.p,
+		NextID:        int(c.nextID),
+		Rings:         len(c.rings),
+		IngestDrained: c.ingestDrained,
 	}
 	for k := range c.rings {
 		if c.disabled[k] {
@@ -89,6 +90,7 @@ func NewFromState(cfg Config, st proto.ControlState) (*Coordinator, error) {
 	}
 	c.epoch = st.Epoch
 	c.nextID = ring.NodeID(st.NextID)
+	c.ingestDrained = st.IngestDrained
 	for _, k := range st.Disabled {
 		if k >= 0 && k < len(c.rings) {
 			c.disabled[k] = true

@@ -1,0 +1,118 @@
+// Epoch-fence tests: the node-side half of the ingest pipeline's
+// placement fence (stale-epoch rejection, monotonic ratchet, the
+// always-accepted legacy path) and its wire behaviour.
+package node
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/wire"
+)
+
+func testCorpus(t *testing.T, enc *pps.Encoder, n int) []pps.Encoded {
+	t.Helper()
+	recs := make([]pps.Encoded, n)
+	for i := range recs {
+		rec, err := enc.EncryptDocument(pps.Document{
+			ID: uint64(i+1) << 40, Path: "/e", Size: 9,
+			Modified: time.Unix(1.2e9, 0), Keywords: []string{"kw"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+func TestPutEpochFence(t *testing.T) {
+	n, enc := testSetup(t)
+	recs := testCorpus(t, enc, 3)
+
+	// Unfenced puts (legacy senders) are always accepted.
+	if _, err := n.Put(proto.PutReq{Records: recs[:1]}); err != nil {
+		t.Fatalf("unfenced put rejected: %v", err)
+	}
+	// A fenced put establishes the observed epoch.
+	if _, err := n.Put(proto.PutReq{Records: recs[1:2], Epoch: 5}); err != nil {
+		t.Fatalf("first fenced put rejected: %v", err)
+	}
+	// An older epoch is refused — the records must NOT be stored.
+	before := n.Store().Len()
+	_, err := n.Put(proto.PutReq{Records: recs[2:3], Epoch: 3})
+	var stale *StaleEpochError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale-epoch put got %v, want StaleEpochError", err)
+	}
+	if stale.Got != 3 || stale.Current != 5 {
+		t.Fatalf("StaleEpochError = %+v, want Got=3 Current=5", stale)
+	}
+	if stale.WireErrorCode() != wire.CodeStaleEpoch {
+		t.Fatalf("wire code %q diverges from wire.CodeStaleEpoch %q",
+			stale.WireErrorCode(), wire.CodeStaleEpoch)
+	}
+	if n.Store().Len() != before {
+		t.Fatal("stale-epoch put stored records anyway")
+	}
+	// The same epoch and newer epochs pass.
+	if _, err := n.Put(proto.PutReq{Records: recs[2:3], Epoch: 5}); err != nil {
+		t.Fatalf("current-epoch put rejected: %v", err)
+	}
+	if _, err := n.Put(proto.PutReq{Records: recs[2:3], Epoch: 6}); err != nil {
+		t.Fatalf("newer-epoch put rejected: %v", err)
+	}
+	// Unfenced puts still work after the fence has advanced.
+	if _, err := n.Put(proto.PutReq{Records: recs[:1]}); err != nil {
+		t.Fatalf("unfenced put after fencing rejected: %v", err)
+	}
+}
+
+func TestRetainAdvancesEpochFence(t *testing.T) {
+	n, enc := testSetup(t)
+	recs := testCorpus(t, enc, 2)
+	if _, err := n.Put(proto.PutReq{Records: recs[:1], Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// A placement change (retain) published under epoch 9 ratchets the
+	// fence: puts routed under the old view must start bouncing.
+	n.Retain(proto.RetainReq{Start: 0, Length: 1, P: 1, Epoch: 9})
+	_, err := n.Put(proto.PutReq{Records: recs[1:], Epoch: 4})
+	var stale *StaleEpochError
+	if !errors.As(err, &stale) || stale.Current != 9 {
+		t.Fatalf("put under pre-retain epoch got %v, want stale at 9", err)
+	}
+}
+
+// TestPutEpochFenceOverWire pins the remote shape: a stale fenced put
+// surfaces to the sender as a wire.RemoteError carrying CodeStaleEpoch
+// — the signal the coordinator's retry loop re-routes on.
+func TestPutEpochFenceOverWire(t *testing.T) {
+	n, enc := testSetup(t)
+	srv, err := n.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := wire.NewClient(srv.Addr())
+	defer cl.Close()
+	recs := testCorpus(t, enc, 2)
+	var resp proto.PutResp
+	if err := cl.Call(context.Background(), proto.MNodePut,
+		proto.PutReq{Records: recs[:1], Epoch: 7}, &resp); err != nil {
+		t.Fatalf("fenced put over wire: %v", err)
+	}
+	err = cl.Call(context.Background(), proto.MNodePut,
+		proto.PutReq{Records: recs[1:], Epoch: 2}, &resp)
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("stale put over wire got %v, want RemoteError", err)
+	}
+	if re.Code != wire.CodeStaleEpoch {
+		t.Fatalf("remote code %q, want %q", re.Code, wire.CodeStaleEpoch)
+	}
+}

@@ -59,6 +59,7 @@ type Node struct {
 	inflight  atomic.Int64
 	peak      atomic.Int64 // high-water mark of concurrent queries
 	delay     atomic.Int64 // injected per-query latency (tests/experiments)
+	viewEpoch atomic.Int64 // newest view epoch observed (epoch fence)
 	started   time.Time
 }
 
@@ -172,10 +173,52 @@ func (n *Node) Query(ctx context.Context, req proto.QueryReq) (proto.QueryResp, 
 	return proto.QueryResp{IDs: ids, Scanned: scanned, MatchNanos: int64(el), QueueDepth: depth}, nil
 }
 
-// Put stores replica records.
-func (n *Node) Put(req proto.PutReq) proto.PutResp {
+// StaleEpochError rejects an epoch-fenced put placed under a view older
+// than the newest this node has observed: the sender's routing may be
+// wrong, so the records are refused rather than stored where queries
+// will never look for them. Crosses the wire as wire.CodeStaleEpoch.
+type StaleEpochError struct {
+	Got     int // the put's fencing epoch
+	Current int // the node's newest observed epoch
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("node: stale view epoch %d (node has observed %d); re-pull the view", e.Got, e.Current)
+}
+
+// WireErrorCode implements wire.ErrorCoder; the literal must match
+// wire.CodeStaleEpoch.
+func (e *StaleEpochError) WireErrorCode() string { return "stale-epoch" }
+
+// observeEpoch advances the node's observed view epoch (monotonic) and
+// returns the newest value. A node never trusts an older epoch again:
+// the fence only ratchets forward.
+func (n *Node) observeEpoch(e int) int {
+	for {
+		cur := n.viewEpoch.Load()
+		if int64(e) <= cur {
+			return int(cur)
+		}
+		if n.viewEpoch.CompareAndSwap(cur, int64(e)) {
+			return e
+		}
+	}
+}
+
+// Put stores replica records. A fenced request (Epoch > 0) is rejected
+// with StaleEpochError when its epoch is older than the newest this
+// node has observed; an unfenced request (Epoch == 0, legacy senders)
+// is always accepted. Insert dedups by record ID with last-write-wins,
+// so re-delivery of the same records is a no-op — the idempotent-apply
+// half of the ingest pipeline's at-least-once contract.
+func (n *Node) Put(req proto.PutReq) (proto.PutResp, error) {
+	if req.Epoch > 0 {
+		if cur := n.observeEpoch(req.Epoch); req.Epoch < cur {
+			return proto.PutResp{}, &StaleEpochError{Got: req.Epoch, Current: cur}
+		}
+	}
 	n.store.Insert(req.Records...)
-	return proto.PutResp{Stored: len(req.Records), Total: n.store.Len()}
+	return proto.PutResp{Stored: len(req.Records), Total: n.store.Len()}, nil
 }
 
 // Delete removes records.
@@ -184,8 +227,13 @@ func (n *Node) Delete(req proto.DeleteReq) {
 }
 
 // Retain applies a range/p change, dropping records outside the new
-// stored set (§4.5).
+// stored set (§4.5). A retain carrying the publishing view's epoch
+// advances the fence, so epoch-fenced puts routed under older views
+// start bouncing the moment the new placement lands.
 func (n *Node) Retain(req proto.RetainReq) proto.RetainResp {
+	if req.Epoch > 0 {
+		n.observeEpoch(req.Epoch)
+	}
 	dropped := n.store.RetainStored(ring.NewArc(ring.Norm(req.Start), req.Length), req.P)
 	return proto.RetainResp{Dropped: dropped, Remaining: n.store.Len()}
 }
@@ -220,7 +268,7 @@ func (n *Node) Serve(addr string) (*wire.Server, error) {
 		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("node: bad put request: %w", err)
 		}
-		return n.Put(req), nil
+		return n.Put(req)
 	})
 	d.Register(proto.MNodeDelete, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
 		var req proto.DeleteReq

@@ -326,7 +326,11 @@ func (q *QueryResp) DecodeWire(data []byte) error {
 
 // --- PutReq ---
 
-// AppendWire implements wire.WireAppender.
+// AppendWire implements wire.WireAppender. The epoch fence rides a
+// trailing extension (same mixed-version contract as QueryReq.Plain):
+// an unfenced put encodes byte-identically to the pre-extension
+// format, and a pre-extension node rejects a fenced one with
+// "trailing bytes", which the sender latches as a downgrade signal.
 func (p PutReq) AppendWire(b []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p.Records)))
 	for _, rec := range p.Records {
@@ -336,10 +340,16 @@ func (p PutReq) AppendWire(b []byte) []byte {
 		b = binary.AppendUvarint(b, uint64(len(rec.Filter)))
 		b = append(b, rec.Filter...)
 	}
+	if p.Epoch == 0 {
+		return b
+	}
+	b = appendZigzag(b, int64(p.Epoch))
 	return b
 }
 
-// DecodeWire implements wire.WireDecoder.
+// DecodeWire implements wire.WireDecoder. Accepts both the base
+// encoding (Epoch stays 0) and the fenced one, signalled purely by
+// trailing bytes after the base fields.
 func (p *PutReq) DecodeWire(data []byte) error {
 	r := &reader{data: data}
 	n := r.count("PutReq.Records", 3)
@@ -354,7 +364,64 @@ func (p *PutReq) DecodeWire(data []byte) error {
 			p.Records = append(p.Records, rec)
 		}
 	}
+	p.Epoch = 0
+	if r.err == nil && r.off < len(r.data) {
+		p.Epoch = int(r.zigzag("PutReq.Epoch"))
+	}
 	return r.finish("PutReq")
+}
+
+// --- IngestReq / IngestResp ---
+
+// Ingest appends carry the same raw nonce/filter bytes as replica
+// pushes, so they ride the binary path too. member.ingest is a new
+// method — there is no pre-extension peer to stay byte-compatible
+// with, so the encoding is flat.
+
+// AppendWire implements wire.WireAppender.
+func (q IngestReq) AppendWire(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(q.Records)))
+	for _, rec := range q.Records {
+		b = binary.AppendUvarint(b, rec.ID)
+		b = binary.AppendUvarint(b, uint64(len(rec.Nonce)))
+		b = append(b, rec.Nonce...)
+		b = binary.AppendUvarint(b, uint64(len(rec.Filter)))
+		b = append(b, rec.Filter...)
+	}
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (q *IngestReq) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	n := r.count("IngestReq.Records", 3)
+	q.Records = nil
+	if n > 0 && r.err == nil {
+		q.Records = make([]pps.Encoded, 0, capHint(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			var rec pps.Encoded
+			rec.ID = r.uvarint("IngestReq record id")
+			rec.Nonce = r.bytes("IngestReq record nonce")
+			rec.Filter = r.bytes("IngestReq record filter")
+			q.Records = append(q.Records, rec)
+		}
+	}
+	return r.finish("IngestReq")
+}
+
+// AppendWire implements wire.WireAppender.
+func (q IngestResp) AppendWire(b []byte) []byte {
+	b = binary.AppendUvarint(b, q.Seq)
+	b = binary.AppendUvarint(b, q.Drained)
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder.
+func (q *IngestResp) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	q.Seq = r.uvarint("IngestResp.Seq")
+	q.Drained = r.uvarint("IngestResp.Drained")
+	return r.finish("IngestResp")
 }
 
 // --- PingReq / PingResp ---

@@ -32,8 +32,13 @@ const (
 	MMemberReplicate = "member.replicate"
 	MMemberLease     = "member.lease"
 
-	// Frontend client-facing method (cmd/roar-frontend).
+	// Durable ingest: producers append records to the coordinator's
+	// write-ahead log; delivery to the owning nodes is asynchronous.
+	MMemberIngest = "member.ingest"
+
+	// Frontend client-facing methods (cmd/roar-frontend).
 	MFEQuery = "fe.query"
+	MFEPut   = "fe.put"
 )
 
 // LoadReq asks the membership server to load a corpus file (written by
@@ -132,6 +137,19 @@ type PingResp struct {
 // strategy of §4.1).
 type PutReq struct {
 	Records []pps.Encoded `json:"records"`
+
+	// Epoch is the view epoch the sender placed these records under.
+	// Zero means unfenced (a legacy or epoch-unaware sender) and is
+	// always accepted. A non-zero epoch older than the newest one the
+	// node has observed is rejected with wire.CodeStaleEpoch — the
+	// sender's placement may be wrong, so it must re-pull the view and
+	// re-route rather than write records the node no longer owns. On
+	// the binary codec the epoch rides a trailing extension emitted
+	// only when non-zero, so an unfenced request is byte-identical to
+	// the pre-extension encoding and old nodes keep decoding it; an old
+	// node receiving a fenced request rejects the trailing bytes, which
+	// the sender latches as a legacy node and downgrades for.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // PutResp acknowledges stored records.
@@ -145,6 +163,36 @@ type DeleteReq struct {
 	IDs []uint64 `json:"ids"`
 }
 
+// IngestReq appends records to the coordinator's durable ingest WAL
+// (MMemberIngest). Acceptance means durability, not delivery: the
+// records are fsynced before the reply, then drained asynchronously to
+// the owning nodes with at-least-once semantics (see docs/INGEST.md).
+type IngestReq struct {
+	Records []pps.Encoded `json:"records"`
+}
+
+// IngestResp acknowledges a durable append. Seq is the WAL sequence of
+// the last accepted record; Drained is the delivery watermark at reply
+// time (every sequence <= Drained has reached its owners), so a caller
+// can poll for Drained >= Seq when it needs delivery, not just
+// durability.
+type IngestResp struct {
+	Seq     uint64 `json:"seq"`
+	Drained uint64 `json:"drained"`
+}
+
+// FEPutReq is a client write through a frontend (MFEPut): the frontend
+// forwards it to the coordinator's ingest WAL.
+type FEPutReq struct {
+	Records []pps.Encoded `json:"records"`
+}
+
+// FEPutResp mirrors IngestResp for frontend clients.
+type FEPutResp struct {
+	Seq     uint64 `json:"seq"`
+	Drained uint64 `json:"drained"`
+}
+
 // RetainReq tells a node its (possibly new) range and partitioning
 // level; the node drops every record outside the implied stored set
 // (§4.5: increasing p means dropping replicas immediately).
@@ -152,6 +200,10 @@ type RetainReq struct {
 	Start  float64 `json:"start"`
 	Length float64 `json:"length"`
 	P      int     `json:"p"`
+	// Epoch is the view epoch this placement comes from; the node
+	// advances its observed epoch so older fenced puts start bouncing.
+	// JSON-only body, so old nodes simply ignore the field.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // RetainResp reports the deletions.

@@ -72,6 +72,18 @@ type ControlState struct {
 	Rings    int         `json:"rings"`
 	Disabled []int       `json:"disabled,omitempty"` // powered-down ring indices
 	Nodes    []NodeState `json:"nodes,omitempty"`
+
+	// IngestDrained is the durable-ingest delivery watermark: every WAL
+	// sequence <= it has reached all of its owning nodes. Replicating it
+	// lets a newly elected leader resume the drain without re-delivering
+	// the whole log (the un-replicated tail is re-delivered and absorbed
+	// by node-side dedup).
+	//
+	// Part of the base encoding, not a trailing extension: replica sets
+	// deploy together (the same reasoning as LeaseReq.LastTerm), and a
+	// pre-watermark entry failing a strict decode makes the follower
+	// report a catch-up gap — the safe direction for log replication.
+	IngestDrained uint64 `json:"ingest_drained,omitempty"`
 }
 
 // LogEntry is one slot of the replicated decision log.
@@ -215,6 +227,7 @@ func appendControlState(b []byte, s ControlState) []byte {
 	for _, n := range s.Nodes {
 		b = appendNodeState(b, n)
 	}
+	b = binary.AppendUvarint(b, s.IngestDrained)
 	return b
 }
 
@@ -236,6 +249,7 @@ func readControlState(r *reader) ControlState {
 			s.Nodes = append(s.Nodes, readNodeState(r))
 		}
 	}
+	s.IngestDrained = r.uvarint("ControlState.IngestDrained")
 	return s
 }
 

@@ -8,7 +8,8 @@ import (
 func testControlState() ControlState {
 	return ControlState{
 		Epoch: 17, P: 4, PendingP: 2, NextID: 9, Rings: 2,
-		Disabled: []int{1},
+		Disabled:      []int{1},
+		IngestDrained: 21,
 		Nodes: []NodeState{
 			{ID: 0, Ring: 0, Start: 0, Addr: "127.0.0.1:9001", Speed: 1.5, Rack: "r1"},
 			{ID: 3, Ring: 0, Start: 0.25, Addr: "127.0.0.1:9002"},

@@ -77,6 +77,11 @@ const (
 	// block the server predates (declared by proto.TrailingBytesError,
 	// which must keep this literal in sync).
 	CodeTrailingBytes = "trailing-bytes"
+	// CodeStaleEpoch: a node rejected an epoch-fenced put whose view
+	// epoch is older than the newest the node has observed — the caller
+	// must re-pull the view and re-route (declared by
+	// node.StaleEpochError, which must keep this literal in sync).
+	CodeStaleEpoch = "stale-epoch"
 )
 
 // ErrorCoder is implemented by handler errors that carry a
