@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roar/internal/feclient"
 	"roar/internal/index"
 	"roar/internal/pps"
 	"roar/internal/proto"
@@ -67,6 +68,8 @@ func main() {
 		conc     = flag.Int("concurrency", 1, "concurrent in-flight queries")
 		pool     = flag.Int("pool", 1, "TCP connections to the frontend")
 		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		tenant   = flag.String("tenant", "", "tenant id for per-tenant admission quotas and telemetry (empty = anonymous)")
+		cacheCtl = flag.String("cache", "default", "result cache control: default, bypass, refresh")
 	)
 	flag.Parse()
 
@@ -97,6 +100,17 @@ func main() {
 		}
 	case *fe != "":
 		var req proto.FEQueryReq
+		req.Tenant = *tenant
+		switch *cacheCtl {
+		case "", "default":
+			req.CacheControl = proto.CacheDefault
+		case "bypass":
+			req.CacheControl = proto.CacheBypass
+		case "refresh":
+			req.CacheControl = proto.CacheRefresh
+		default:
+			fatal(fmt.Errorf("unknown -cache %q (default, bypass, refresh)", *cacheCtl))
+		}
 		if *terms != "" {
 			pq, err := plainQuery(*terms, *mode, *minMatch, *limit)
 			if err != nil {
@@ -212,15 +226,17 @@ func asyncPut(addr, path string, wait bool) error {
 	}
 	cl := wire.NewClient(addr)
 	defer cl.Close()
+	fcl := feclient.New(cl, feclient.Options{})
 	const batch = 256
 	var last proto.FEPutResp
 	start := time.Now()
 	for at := 0; at < len(recs); at += batch {
 		end := min(at+batch, len(recs))
-		if err := cl.Call(context.Background(), proto.MFEPut,
-			proto.FEPutReq{Records: recs[at:end]}, &last); err != nil {
+		resp, err := fcl.Put(context.Background(), recs[at:end])
+		if err != nil {
 			return fmt.Errorf("fe.put batch at %d: %w", at, err)
 		}
+		last = resp
 	}
 	fmt.Printf("accepted %d records (WAL seq %d, drained %d) in %v\n",
 		len(recs), last.Seq, last.Drained, time.Since(start).Round(time.Millisecond))
@@ -229,8 +245,8 @@ func asyncPut(addr, path string, wait bool) error {
 	}
 	for last.Drained < last.Seq {
 		time.Sleep(100 * time.Millisecond)
-		var poll proto.FEPutResp
-		if err := cl.Call(context.Background(), proto.MFEPut, proto.FEPutReq{}, &poll); err != nil {
+		poll, err := fcl.Put(context.Background(), nil)
+		if err != nil {
 			return err
 		}
 		last.Drained = poll.Drained
@@ -242,7 +258,11 @@ func asyncPut(addr, path string, wait bool) error {
 func search(addr string, req proto.FEQueryReq, timeout time.Duration) error {
 	cl := wire.NewClient(addr)
 	defer cl.Close()
-	var resp proto.FEQueryResp
+	fcl := feclient.New(cl, feclient.Options{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pps-client: "+format+"\n", args...)
+		},
+	})
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -250,13 +270,18 @@ func search(addr string, req proto.FEQueryReq, timeout time.Duration) error {
 		defer cancel()
 	}
 	start := time.Now()
-	if err := cl.Call(ctx, proto.MFEQuery, req, &resp); err != nil {
+	resp, err := fcl.Query(ctx, req)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries, %d failures, %d hedges)\n",
+	source := ""
+	if resp.Source != "" {
+		source = ", via " + resp.Source
+	}
+	fmt.Printf("%d matches in %v (server-side %v, %d sub-queries, %d failures, %d hedges%s)\n",
 		len(resp.IDs), time.Since(start).Round(time.Millisecond),
 		time.Duration(resp.DelayNanos).Round(time.Millisecond),
-		resp.SubQueries, resp.Failures, resp.Hedges)
+		resp.SubQueries, resp.Failures, resp.Hedges, source)
 	for i, id := range resp.IDs {
 		if i >= 10 {
 			fmt.Printf("  ... and %d more\n", len(resp.IDs)-10)
@@ -276,12 +301,14 @@ func loadTest(addr string, req proto.FEQueryReq, count, conc, pool int, timeout 
 	}
 	cl := wire.NewClientWithConfig(addr, wire.ClientConfig{PoolSize: pool})
 	defer cl.Close()
+	fcl := feclient.New(cl, feclient.Options{})
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		delays   []float64
 		failures int
 		hedges   int
+		hits     int
 		firstErr error
 		failed   atomic.Bool
 		next     = make(chan struct{}, count)
@@ -299,14 +326,13 @@ func loadTest(addr string, req proto.FEQueryReq, count, conc, pool int, timeout 
 				if failed.Load() {
 					return // abandon the backlog after the first error
 				}
-				var resp proto.FEQueryResp
 				ctx := context.Background()
 				var cancel context.CancelFunc
 				if timeout > 0 {
 					ctx, cancel = context.WithTimeout(ctx, timeout)
 				}
 				t0 := time.Now()
-				err := cl.Call(ctx, proto.MFEQuery, req, &resp)
+				resp, err := fcl.Query(ctx, req)
 				if cancel != nil {
 					cancel()
 				}
@@ -322,6 +348,9 @@ func loadTest(addr string, req proto.FEQueryReq, count, conc, pool int, timeout 
 				delays = append(delays, time.Since(t0).Seconds())
 				failures += resp.Failures
 				hedges += resp.Hedges
+				if resp.Source == "cache" {
+					hits++
+				}
 				mu.Unlock()
 			}
 		}()
@@ -339,8 +368,8 @@ func loadTest(addr string, req proto.FEQueryReq, count, conc, pool int, timeout 
 		i := int(p * float64(len(delays)-1))
 		return time.Duration(delays[i] * float64(time.Second))
 	}
-	fmt.Printf("%d queries, %d workers, pool %d: %.1f q/s (%d failures recovered, %d hedges)\n",
-		len(delays), conc, pool, float64(len(delays))/wall, failures, hedges)
+	fmt.Printf("%d queries, %d workers, pool %d: %.1f q/s (%d failures recovered, %d hedges, %d cache hits)\n",
+		len(delays), conc, pool, float64(len(delays))/wall, failures, hedges, hits)
 	fmt.Printf("delay p50 %v  p90 %v  p99 %v\n",
 		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
 		pct(0.99).Round(time.Millisecond))

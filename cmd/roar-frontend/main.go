@@ -47,6 +47,10 @@ func main() {
 		hedgePQ  = flag.Int("hedge-per-query", 0, "max hedged legs per query (0 = unlimited)")
 		shedHW   = flag.Int("shed-highwater", 0, "mean reported node queue depth that triggers overload shedding (0 = off)")
 		healthIv = flag.Duration("health-interval", time.Second, "health report push cadence")
+		cacheB   = flag.Int64("cache-budget", 0, "result cache memory budget in bytes (0 = cache off)")
+		cacheSh  = flag.Int("cache-shards", 0, "result cache shard count (0 = default 16)")
+		tenRate  = flag.Float64("tenant-rate", 0, "per-tenant admission tokens per second (0 = quotas off, counters only)")
+		tenBurst = flag.Float64("tenant-burst", 0, "per-tenant admission token bucket capacity (0 = max(rate, 8))")
 	)
 	flag.Parse()
 
@@ -60,6 +64,8 @@ func main() {
 		ProbeInterval:       *probe,
 		HedgeBudgetFraction: *hedgeB, HedgeBudgetBurst: *hedgeBB,
 		HedgeMaxPerQuery: *hedgePQ, ShedHighWater: *shedHW,
+		CacheBudget: *cacheB, CacheShards: *cacheSh,
+		TenantRate: *tenRate, TenantBurst: *tenBurst,
 	})
 	defer fe.Close()
 
@@ -99,14 +105,19 @@ func main() {
 		// Plain selects the nodes' roaring-bitmap index data plane; the
 		// scheduling/hedging/merge pipeline is shared with encrypted
 		// queries (see frontend.QuerySpec).
-		res, err := fe.ExecuteSpec(ctx, frontend.QuerySpec{Enc: req.Q, Plain: req.Plain},
-			frontend.ExecOptions{Priority: frontend.Priority(req.Priority)})
+		res, err := fe.Query(ctx, frontend.QuerySpec{
+			Enc: req.Q, Plain: req.Plain,
+			Tenant:   req.Tenant,
+			Priority: frontend.Priority(req.Priority),
+			CacheControl: req.CacheControl,
+		})
 		if err != nil {
 			return nil, err
 		}
 		return proto.FEQueryResp{
 			IDs: res.IDs, DelayNanos: int64(res.Delay), QueueNanos: int64(res.Queue),
 			SubQueries: res.SubQueries, Failures: res.Failures, Hedges: res.Hedges,
+			Source: res.Source,
 		}, nil
 	})
 	d.Register(proto.MFEPut, func(ctx context.Context, _ string, body wire.Body) (interface{}, error) {

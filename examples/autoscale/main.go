@@ -100,7 +100,7 @@ func main() {
 				case <-stop:
 					return
 				default:
-					if _, err := c.FE.Execute(ctx, q); err != nil {
+					if _, err := c.FE.Query(ctx, frontend.QuerySpec{Enc: q}); err != nil {
 						return
 					}
 				}
@@ -112,7 +112,7 @@ func main() {
 	tick := func(phase string) []membership.AutoscaleDecision {
 		shed := 0
 		for i := 0; i < 4; i++ {
-			if _, err := c.FE.ExecuteOpts(ctx, q, frontend.ExecOptions{Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
+			if _, err := c.FE.Query(ctx, frontend.QuerySpec{Enc: q, Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
 				shed++
 			}
 			time.Sleep(5 * time.Millisecond)
@@ -138,7 +138,7 @@ func main() {
 	time.Sleep(150 * time.Millisecond)
 	shedAfter := 0
 	for i := 0; i < 8; i++ {
-		if _, err := c.FE.ExecuteOpts(ctx, q, frontend.ExecOptions{Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
+		if _, err := c.FE.Query(ctx, frontend.QuerySpec{Enc: q, Priority: frontend.PriorityLow}); errors.Is(err, frontend.ErrShed) {
 			shedAfter++
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -165,7 +165,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for len(c.Coord.Quarantined()) == 0 {
-		if _, err := c.FE.Execute(ctx, q); err != nil {
+		if _, err := c.FE.Query(ctx, frontend.QuerySpec{Enc: q}); err != nil {
 			log.Fatalf("query during failure: %v", err)
 		}
 		c.PumpHealth()
@@ -177,7 +177,7 @@ func main() {
 	if _, err := c.StepAutoscale(ctx); err != nil {
 		log.Fatal(err)
 	}
-	res, err := c.FE.Execute(ctx, q)
+	res, err := c.FE.Query(ctx, frontend.QuerySpec{Enc: q})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"roar/internal/cluster"
+	"roar/internal/frontend"
 	"roar/internal/pps"
 	"roar/internal/stats"
 	"roar/internal/workload"
@@ -97,7 +98,7 @@ func measure(c *cluster.Cluster, q pps.Query, workers int) time.Duration {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perPhase/workers; i++ {
-				res, err := c.FE.Execute(context.Background(), q)
+				res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -115,7 +115,7 @@ func main() {
 				default:
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-				res, err := hc.FE.Execute(ctx, q)
+				res, err := hc.FE.Query(ctx, frontend.QuerySpec{Enc: q})
 				cancel()
 				if err != nil || len(res.IDs) != len(recs) {
 					failed.Add(1)

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"roar/internal/cluster"
+	"roar/internal/frontend"
 	"roar/internal/index"
 	"roar/internal/proto"
 )
@@ -72,7 +73,7 @@ func main() {
 
 	ctx := context.Background()
 	show := func(label string, pq proto.PlainQuery) {
-		res, err := c.FE.ExecutePlain(ctx, pq)
+		res, err := c.FE.Query(ctx, frontend.QuerySpec{Plain: &pq})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,8 +91,9 @@ func main() {
 	// Top-k: each node returns its arc's k smallest ids and the frontend
 	// cuts the merged result to the same global k, so the answer equals
 	// a single-index evaluation.
-	res, err := c.FE.ExecutePlain(ctx, proto.PlainQuery{
-		Terms: []string{"roar"}, Mode: uint8(index.ModeAnd), Limit: 5})
+	topk := proto.PlainQuery{
+		Terms: []string{"roar"}, Mode: uint8(index.ModeAnd), Limit: 5}
+	res, err := c.FE.Query(ctx, frontend.QuerySpec{Plain: &topk})
 	if err != nil {
 		log.Fatal(err)
 	}

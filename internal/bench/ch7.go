@@ -78,7 +78,7 @@ func throughput(c *cluster.Cluster, q pps.Query, workers int, dur time.Duration)
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				res, err := c.FE.Execute(context.Background(), q)
+				res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 				mu.Lock()
 				if err != nil {
 					if firstEr == nil {
@@ -126,7 +126,7 @@ func delayThroughputVsP(id, title string, fixed time.Duration, quick bool) (Tabl
 		// per-query measurement), then throughput under closed-loop load.
 		delays := stats.NewSample(20)
 		for i := 0; i < 20; i++ {
-			res, err := c.FE.Execute(context.Background(), q)
+			res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 			if err != nil {
 				c.Close()
 				return t, err
@@ -173,7 +173,7 @@ func fig73(quick bool) (Table, error) {
 		}
 		wall0 := time.Now()
 		for i := 0; i < queries; i++ {
-			if _, err := c.FE.Execute(context.Background(), q); err != nil {
+			if _, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q}); err != nil {
 				c.Close()
 				return t, err
 			}
@@ -381,7 +381,7 @@ func measurePhase(c *cluster.Cluster, q pps.Query, workers int, pause time.Durat
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				res, e := c.FE.Execute(context.Background(), q)
+				res, e := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 				mu.Lock()
 				if e != nil && err == nil {
 					err = e
@@ -436,7 +436,7 @@ func fig76(quick bool) (Table, error) {
 		complete := true
 		rounds := 8
 		for i := 0; i < rounds; i++ {
-			res, err := c.FE.Execute(context.Background(), q)
+			res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 			if err != nil {
 				return err
 			}
@@ -502,7 +502,7 @@ func fig77(quick bool) (Table, error) {
 		}
 		s := stats.NewSample(queries)
 		for i := 0; i < queries; i++ {
-			res, err := c.FE.Execute(context.Background(), q)
+			res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 			if err != nil {
 				c.Close()
 				return t, err
@@ -581,7 +581,7 @@ func fig79(quick bool) (Table, error) {
 		s := stats.NewSample(queriesPerRound)
 		w0 := time.Now()
 		for i := 0; i < queriesPerRound; i++ {
-			res, err := c.FE.Execute(context.Background(), q)
+			res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 			if err != nil {
 				return t, err
 			}
@@ -629,7 +629,7 @@ func fig711(quick bool) (Table, error) {
 		return t, err
 	}
 	for i := 0; i < queries; i++ {
-		if _, err := c.FE.Execute(context.Background(), q); err != nil {
+		if _, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q}); err != nil {
 			return t, err
 		}
 	}
@@ -677,7 +677,7 @@ func tab73(quick bool) (Table, error) {
 	s := stats.NewSample(queries)
 	var sched time.Duration
 	for i := 0; i < queries; i++ {
-		res, err := c.FE.Execute(context.Background(), q)
+		res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 		if err != nil {
 			return t, err
 		}
@@ -779,7 +779,7 @@ func fig713(quick bool) (Table, error) {
 		return t, err
 	}
 	for i := 0; i < queries; i++ {
-		if _, err := c.FE.Execute(context.Background(), q); err != nil {
+		if _, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q}); err != nil {
 			return t, err
 		}
 	}
@@ -840,7 +840,7 @@ func fig714(quick bool) (Table, error) {
 	roarS := stats.NewSample(queries)
 	var roarIDs []uint64
 	for i := 0; i < queries; i++ {
-		res, err := c.FE.Execute(context.Background(), q)
+		res, err := c.FE.Query(context.Background(), frontend.QuerySpec{Enc: q})
 		if err != nil {
 			c.Close()
 			return t, err

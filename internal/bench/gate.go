@@ -178,6 +178,14 @@ func DefaultTracked() []GateMetric {
 		{Bench: "BenchmarkIngest/append", Unit: "append-recs/s", HigherBetter: true, Threshold: 0.5},
 		{Bench: "BenchmarkIngest/drain", Unit: "drain-batches/s", HigherBetter: true, Threshold: 0.5},
 		{Bench: "BenchmarkIngest/replay", Unit: "replay-ms-10k", Threshold: 1.5},
+		// Query economics: the warm Zipf hit ratio prices the result
+		// cache (acceptance floor is 0.30; the budget keeps the gate
+		// above it from a ~0.88 baseline), and tenant quota isolation is
+		// an exact invariant — a victim tenant under its quota being shed
+		// at all is a fairness regression, not noise.
+		{Bench: "BenchmarkResultCache/zipf-hit-ratio", Unit: "hit-ratio", HigherBetter: true, Threshold: 0.5},
+		{Bench: "BenchmarkResultCache/tenant-isolation", Unit: "hot-shed-frac", HigherBetter: true, Threshold: 0.5},
+		{Bench: "BenchmarkResultCache/tenant-isolation", Unit: "victim-shed-pct"}, // zero-shed: hard invariant
 	}
 }
 

@@ -352,7 +352,7 @@ func (c *Cluster) Query(ctx context.Context, op pps.BoolOp, preds ...pps.Predica
 	if err != nil {
 		return frontend.Result{}, err
 	}
-	return c.FE.Execute(ctx, q)
+	return c.FE.Query(ctx, frontend.QuerySpec{Enc: q})
 }
 
 // KillNode crashes node i: its server stops accepting and all its

@@ -1,0 +1,197 @@
+// Package feclient is the client side of the frontend query API: a thin
+// wrapper over wire.Client that speaks the newest FEQueryReq encoding —
+// binary, with the tenant/cache-control trailing extension — and
+// downgrades per evidence when the frontend predates it, so one binary
+// works against every deployed server generation (docs/ECONOMICS.md).
+//
+// The ladder has three rungs, latched per client and re-probed every
+// probeEvery requests (mirroring the frontend→coordinator health-push
+// ladder in internal/frontend/sync.go):
+//
+//	0: binary encoding, extension block included (newest servers)
+//	1: binary encoding, extensions stripped — the server decodes
+//	   FEQueryReq binary but rejects the trailer (trailing-bytes)
+//	2: JSON encoding — the server negotiated the binary envelope but
+//	   has no FEQueryReq binary decoder at all (binary-body). JSON
+//	   keeps the extension fields: old servers ignore unknown keys.
+//
+// Only an error the remote HANDLER reported (wire.RemoteError)
+// classifies, by typed code when present with the historic spellings as
+// fallback; transport errors never latch. A query whose downgrade is
+// discovered mid-call is retried at the lower rung within the same
+// Query invocation — queries are idempotent, so the caller just sees a
+// slower first answer, not a spurious failure.
+package feclient
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/wire"
+)
+
+// Caller is the frontend transport (satisfied by wire.Client).
+type Caller interface {
+	Call(ctx context.Context, method string, in, out interface{}) error
+}
+
+// Encoding rungs.
+const (
+	encFull     = 0 // binary, extension block included
+	encStripExt = 1 // binary, base form only
+	encJSON     = 2 // JSON body (named-type trick drops the appender)
+)
+
+// probeEvery is the re-probe cadence: after this many requests in a
+// downgraded encoding, one request retries the full-fidelity form.
+// Success un-latches; the specific rejection re-latches for another
+// window at the cost of one predictable retried request.
+const probeEvery = 16
+
+// Options tunes a Client. The zero value is ready to use.
+type Options struct {
+	// Logf, when set, receives one line per downgrade transition.
+	Logf func(format string, args ...any)
+}
+
+// Client issues queries and async puts against one frontend.
+type Client struct {
+	c    Caller
+	logf func(format string, args ...any)
+
+	mu         sync.Mutex
+	level      int
+	sinceProbe int
+}
+
+// New wraps a frontend transport.
+func New(c Caller, opts Options) *Client {
+	return &Client{c: c, logf: opts.Logf}
+}
+
+// feQueryReqJSON is proto.FEQueryReq minus its methods: converting to a
+// defined type keeps the field tags but drops AppendWire, so encodeBody
+// falls back to JSON even on a binary-negotiated connection — exactly
+// the rung-2 escape hatch.
+type feQueryReqJSON proto.FEQueryReq
+
+// levelNames label transitions in logs.
+var levelNames = [...]string{"full binary", "binary (extensions stripped)", "JSON"}
+
+// Query runs one query, downgrading and retrying within the call when
+// the server's rejection proves it predates the encoding sent.
+func (c *Client) Query(ctx context.Context, req proto.FEQueryReq) (proto.FEQueryResp, error) {
+	c.mu.Lock()
+	level := c.level
+	if level != encFull {
+		c.sinceProbe++
+		if c.sinceProbe >= probeEvery {
+			c.sinceProbe = 0
+			level = encFull // retry full fidelity this round
+		}
+	}
+	c.mu.Unlock()
+
+	for {
+		var resp proto.FEQueryResp
+		err := c.callAt(ctx, level, req, &resp)
+		if err == nil {
+			c.latch(level)
+			return resp, nil
+		}
+		next, ok := downgradeFor(err, level, req)
+		if !ok {
+			return proto.FEQueryResp{}, err
+		}
+		level = next
+	}
+}
+
+// callAt issues the request in one specific encoding.
+func (c *Client) callAt(ctx context.Context, level int, req proto.FEQueryReq, resp *proto.FEQueryResp) error {
+	switch level {
+	case encStripExt:
+		return c.c.Call(ctx, proto.MFEQuery, req.StripExt(), resp)
+	case encJSON:
+		return c.c.Call(ctx, proto.MFEQuery, feQueryReqJSON(req), resp)
+	default:
+		return c.c.Call(ctx, proto.MFEQuery, req, resp)
+	}
+}
+
+// latch records the encoding that worked, logging transitions.
+func (c *Client) latch(level int) {
+	c.mu.Lock()
+	changed := c.level != level
+	c.level = level
+	if level == encFull {
+		c.sinceProbe = 0
+	}
+	c.mu.Unlock()
+	if changed && c.logf != nil {
+		if level == encFull {
+			c.logf("feclient: frontend accepts the full encoding again; downgrade cleared")
+		} else {
+			c.logf("feclient: frontend rejected the request encoding; downgrading to %s", levelNames[level])
+		}
+	}
+}
+
+// downgradeFor classifies a failure into the next rung to try, if any.
+// A trailing-bytes rejection of a request that actually carried the
+// extension block drops to the stripped binary; a binary-body rejection
+// proves the server cannot decode FEQueryReq binary at all and drops
+// straight to JSON. Anything else — including the same rejection at a
+// rung that should have cured it — is the caller's error.
+func downgradeFor(err error, level int, req proto.FEQueryReq) (int, bool) {
+	trailing, binaryBody := rejectionSignal(err)
+	switch {
+	case trailing && level == encFull && req.HasExt():
+		return encStripExt, true
+	case binaryBody && level < encJSON:
+		return encJSON, true
+	default:
+		return 0, false
+	}
+}
+
+// rejectionSignal classifies an error into the mixed-version rejection
+// it proves, if any. Typed codes are authoritative; the bare-string
+// fallbacks accept the exact spellings of servers that predate them.
+func rejectionSignal(err error) (trailing, binaryBody bool) {
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		return false, false
+	}
+	switch re.Code {
+	case wire.CodeTrailingBytes:
+		return true, false
+	case wire.CodeBinaryBody:
+		return false, true
+	case "": // pre-code server: fall through to the exact spellings
+	default:
+		return false, false
+	}
+	if strings.Contains(re.Msg, "trailing bytes after FEQueryReq") {
+		return true, false
+	}
+	if strings.Contains(re.Msg, "cannot decode a binary body") {
+		return false, true
+	}
+	return false, false
+}
+
+// Put forwards a record batch to the frontend's async ingest (fe.put).
+// The reply acknowledges WAL durability; poll Drained against Seq when
+// delivery matters. FEPutReq predates this client, so no ladder applies.
+func (c *Client) Put(ctx context.Context, recs []pps.Encoded) (proto.FEPutResp, error) {
+	var resp proto.FEPutResp
+	if err := c.c.Call(ctx, proto.MFEPut, proto.FEPutReq{Records: recs}, &resp); err != nil {
+		return proto.FEPutResp{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,254 @@
+package feclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+	"roar/internal/wire"
+)
+
+// fakeFE scripts a frontend server generation: it inspects each request's
+// encoding (visible here as the argument's Go type and extension state)
+// and either answers or rejects the way that generation's wire stack
+// would.
+type fakeFE struct {
+	generation string // "new", "binary-base", "json-only"
+	code       bool   // attach typed codes (false = pre-code spellings)
+	calls      []string
+}
+
+func (f *fakeFE) Call(_ context.Context, method string, in, out interface{}) error {
+	if method != proto.MFEQuery {
+		f.calls = append(f.calls, method)
+		return nil
+	}
+	enc := "full"
+	switch req := in.(type) {
+	case proto.FEQueryReq:
+		if !req.HasExt() {
+			enc = "base"
+		}
+	case feQueryReqJSON:
+		enc = "json"
+	default:
+		return fmt.Errorf("unexpected request type %T", in)
+	}
+	f.calls = append(f.calls, enc)
+	reject := func(code, msg string) error {
+		re := &wire.RemoteError{Method: proto.MFEQuery, Msg: msg}
+		if f.code {
+			re.Code = code
+		}
+		return re
+	}
+	switch f.generation {
+	case "new":
+	case "binary-base":
+		// Decodes FEQueryReq binary but predates the extension trailer.
+		if enc == "full" {
+			return reject(wire.CodeTrailingBytes, "proto: 5 trailing bytes after FEQueryReq")
+		}
+	case "json-only":
+		// Negotiated the binary envelope, has no FEQueryReq decoder.
+		if enc != "json" {
+			return reject(wire.CodeBinaryBody, "wire: *proto.FEQueryReq cannot decode a binary body")
+		}
+	}
+	*(out.(*proto.FEQueryResp)) = proto.FEQueryResp{IDs: []uint64{42}, Source: "fanout"}
+	return nil
+}
+
+func extReq() proto.FEQueryReq {
+	return proto.FEQueryReq{Tenant: "acme", CacheControl: proto.CacheRefresh}
+}
+
+func TestQueryNewServerStaysFull(t *testing.T) {
+	fe := &fakeFE{generation: "new", code: true}
+	cl := New(fe, Options{})
+	for i := 0; i < 3; i++ {
+		resp, err := cl.Query(context.Background(), extReq())
+		if err != nil || len(resp.IDs) != 1 {
+			t.Fatalf("query %d: resp=%v err=%v", i, resp, err)
+		}
+	}
+	for i, enc := range fe.calls {
+		if enc != "full" {
+			t.Errorf("call %d used %q, want full encoding against a new server", i, enc)
+		}
+	}
+}
+
+func TestQueryDowngradesToStrippedBinary(t *testing.T) {
+	for _, typed := range []bool{true, false} {
+		fe := &fakeFE{generation: "binary-base", code: typed}
+		cl := New(fe, Options{Logf: t.Logf})
+		resp, err := cl.Query(context.Background(), extReq())
+		if err != nil {
+			t.Fatalf("typed=%v: downgrade did not retry in-call: %v", typed, err)
+		}
+		if len(resp.IDs) != 1 {
+			t.Fatalf("typed=%v: bad resp %v", typed, resp)
+		}
+		if want := []string{"full", "base"}; len(fe.calls) != 2 || fe.calls[0] != want[0] || fe.calls[1] != want[1] {
+			t.Fatalf("typed=%v: calls = %v, want %v", typed, fe.calls, want)
+		}
+		// Latched: the next query goes straight to the stripped form.
+		if _, err := cl.Query(context.Background(), extReq()); err != nil {
+			t.Fatal(err)
+		}
+		if fe.calls[2] != "base" {
+			t.Errorf("typed=%v: latched client sent %q, want base", typed, fe.calls[2])
+		}
+	}
+}
+
+func TestQueryDowngradesToJSON(t *testing.T) {
+	for _, typed := range []bool{true, false} {
+		fe := &fakeFE{generation: "json-only", code: typed}
+		cl := New(fe, Options{Logf: t.Logf})
+		resp, err := cl.Query(context.Background(), extReq())
+		if err != nil {
+			t.Fatalf("typed=%v: %v", typed, err)
+		}
+		if len(resp.IDs) != 1 {
+			t.Fatalf("typed=%v: bad resp %v", typed, resp)
+		}
+		if last := fe.calls[len(fe.calls)-1]; last != "json" {
+			t.Errorf("typed=%v: final call used %q, want json", typed, last)
+		}
+		// JSON keeps the extension fields — old servers ignore unknown
+		// keys, new ones honour them — so no information is lost.
+		if _, err := cl.Query(context.Background(), extReq()); err != nil {
+			t.Fatal(err)
+		}
+		if last := fe.calls[len(fe.calls)-1]; last != "json" {
+			t.Errorf("typed=%v: latched client sent %q, want json", typed, last)
+		}
+	}
+}
+
+func TestQueryReprobesAndRecovers(t *testing.T) {
+	fe := &fakeFE{generation: "binary-base", code: true}
+	cl := New(fe, Options{Logf: t.Logf})
+	if _, err := cl.Query(context.Background(), extReq()); err != nil {
+		t.Fatal(err)
+	}
+	// The server upgrades in place.
+	fe.generation = "new"
+	var sawFull bool
+	for i := 0; i < probeEvery+1; i++ {
+		if _, err := cl.Query(context.Background(), extReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, enc := range fe.calls[2:] {
+		if enc == "full" {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("client never re-probed the full encoding")
+	}
+	// Recovery latched: everything after the successful probe is full.
+	n := len(fe.calls)
+	if _, err := cl.Query(context.Background(), extReq()); err != nil {
+		t.Fatal(err)
+	}
+	if fe.calls[n] != "full" {
+		t.Errorf("post-recovery call used %q, want full", fe.calls[n])
+	}
+}
+
+func TestQueryNoExtSkipsStripRung(t *testing.T) {
+	// A request with no extension fields already IS the base form; a
+	// trailing-bytes rejection of it proves nothing a strip would fix.
+	fe := &fakeFE{generation: "binary-base", code: true}
+	cl := New(fe, Options{})
+	resp, err := cl.Query(context.Background(), proto.FEQueryReq{})
+	if err != nil || len(resp.IDs) != 1 {
+		t.Fatalf("plain request against binary-base server: resp=%v err=%v", resp, err)
+	}
+	if len(fe.calls) != 1 || fe.calls[0] != "base" {
+		t.Errorf("calls = %v, want one base-encoded call", fe.calls)
+	}
+}
+
+// transportCaller fails every call with a non-remote error carrying the
+// rejection spellings — which must never classify.
+type transportCaller struct{ calls int }
+
+func (c *transportCaller) Call(context.Context, string, interface{}, interface{}) error {
+	c.calls++
+	return errors.New("proxy: upstream said: cannot decode a binary body (trailing bytes after FEQueryReq)")
+}
+
+func TestTransportTextNeverDowngrades(t *testing.T) {
+	tc := &transportCaller{}
+	cl := New(tc, Options{})
+	if _, err := cl.Query(context.Background(), extReq()); err == nil {
+		t.Fatal("transport error swallowed")
+	}
+	if tc.calls != 1 {
+		t.Errorf("client retried a transport error %d times; must fail through", tc.calls)
+	}
+	cl.mu.Lock()
+	level := cl.level
+	cl.mu.Unlock()
+	if level != encFull {
+		t.Errorf("transport text latched a downgrade to level %d", level)
+	}
+}
+
+func TestPutForwards(t *testing.T) {
+	fe := &fakeFE{generation: "new", code: true}
+	cl := New(fe, Options{})
+	if _, err := cl.Put(context.Background(), []pps.Encoded{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fe.calls) != 1 || fe.calls[0] != proto.MFEPut {
+		t.Errorf("calls = %v, want one fe.put", fe.calls)
+	}
+}
+
+// TestWireInteropOldServer runs the ladder against a REAL wire server
+// whose fe.query handler predates the FEQueryReq binary codec: it
+// decodes into a methodless struct, so a binary body fails exactly the
+// way a PR3-era frontend's would, end to end through negotiation,
+// framing, and typed-error parsing.
+func TestWireInteropOldServer(t *testing.T) {
+	type oldFEQueryReq proto.FEQueryReq // no AppendWire/DecodeWire: the old shape
+	d := wire.NewDispatcher()
+	d.Register(proto.MFEQuery, func(_ context.Context, _ string, body wire.Body) (interface{}, error) {
+		var req oldFEQueryReq
+		if err := body.Decode(&req); err != nil {
+			return nil, err
+		}
+		// Old servers never saw Tenant/CacheControl; JSON decoding just
+		// drops the unknown keys.
+		return proto.FEQueryResp{IDs: []uint64{7}}, nil
+	})
+	srv, err := wire.Serve("127.0.0.1:0", d.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	wc := wire.NewClient(srv.Addr())
+	defer wc.Close()
+
+	cl := New(wc, Options{Logf: t.Logf})
+	resp, err := cl.Query(context.Background(), extReq())
+	if err != nil {
+		t.Fatalf("ladder never reached an encoding the old server accepts: %v", err)
+	}
+	if len(resp.IDs) != 1 || resp.IDs[0] != 7 {
+		t.Fatalf("bad response %v", resp)
+	}
+	// Latched on JSON: a second query succeeds without retries.
+	if _, err := cl.Query(context.Background(), extReq()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -113,18 +113,34 @@ type Config struct {
 	// depth at which the frontend declares overload: hedging pauses and
 	// PriorityLow admissions are rejected with ErrShed. 0 disables.
 	ShedHighWater int
+
+	// CacheBudget bounds the result cache's resident bytes (keys, id
+	// payloads, and per-entry overhead). 0 disables caching entirely.
+	CacheBudget int64
+	// CacheShards is the cache's lock-shard count (default 16).
+	CacheShards int
+	// TenantRate is each tenant's admission-quota refill, in queries
+	// per second. 0 disables quota enforcement (per-tenant counters are
+	// kept regardless); see tenant.go for the work-conserving semantics.
+	TenantRate float64
+	// TenantBurst is the quota bucket capacity (default max(rate, 8)).
+	TenantBurst float64
 }
 
 // Priority classes admission control distinguishes under overload.
 type Priority int
 
 const (
+	// PriorityBulk marks background batch work: shed under overload
+	// like PriorityLow, and additionally metered by the tenant quota
+	// even when the admission pool is idle.
+	PriorityBulk Priority = -2
 	// PriorityLow marks sheddable work: rejected first when the
 	// cluster's reported queue depths cross the shed high-water mark.
 	PriorityLow Priority = -1
 	// PriorityNormal is the default class (zero value).
 	PriorityNormal Priority = 0
-	// PriorityHigh is never shed.
+	// PriorityHigh is never shed and bypasses the tenant quota.
 	PriorityHigh Priority = 1
 )
 
@@ -156,6 +172,13 @@ type Result struct {
 	HedgesDenied int           // hedges suppressed by budget, cap, or overload
 	HedgeWins    int           // hedges that answered before the primary
 	Scanned      int           // objects scanned across nodes
+	// Source attributes the answer: SourceCache (result cache or
+	// coalesced fan-out), SourceHedged (fan-out with hedged legs), or
+	// SourceFanout. Empty only on error.
+	Source string
+	// Cache snapshots the result-cache counters at completion (zero
+	// value when caching is disabled).
+	Cache CacheStats
 }
 
 // Frontend schedules and executes queries against a node view.
@@ -185,6 +208,19 @@ type Frontend struct {
 	queueLat  latTracker    // admission-queue waits of admitted queries (report digest)
 	reportSeq atomic.Uint64 // health report sequence numbers
 
+	// Result cache (nil when Config.CacheBudget is 0) and its fence.
+	// cacheGen advances on every strictly-newer view install and every
+	// ingest-watermark advance (ObserveIngest); entries from older
+	// generations are unservable. ingSeq/ingDrained are the high-water
+	// ingest observations backing that monotonicity.
+	cache      *resultCache
+	cacheGen   atomic.Uint64
+	ingSeq     atomic.Uint64
+	ingDrained atomic.Uint64
+	// tenants is the per-tenant quota and accounting ledger (always
+	// non-nil; quota enforcement off when Config.TenantRate is 0).
+	tenants *tenantTable
+
 	stop      chan struct{} // stops the background prober
 	closeOnce sync.Once
 	// lifeCtx scopes work owned by the frontend itself (probe RPCs)
@@ -210,6 +246,7 @@ type Frontend struct {
 	dispatchS *stats.Sample
 	mergeS    *stats.Sample
 	totalS    *stats.Sample
+	hitS      *stats.Sample // cache-hit delays, kept out of the fan-out phases
 }
 
 // tuning is the effective execution-pipeline configuration: Config
@@ -342,11 +379,14 @@ func New(cfg Config) *Frontend {
 		dispatchS: stats.NewSample(0),
 		mergeS:    stats.NewSample(0),
 		totalS:    stats.NewSample(0),
+		hitS:      stats.NewSample(0),
 	}
 	f.nowFn = time.Now                                                 //lint:allow wallclock — clock-injection default
 	f.timerFn = time.NewTimer                                          //lint:allow wallclock — clock-injection default
 	f.afterFn = time.After                                             //lint:allow wallclock — clock-injection default
 	f.lifeCtx, f.lifeCancel = context.WithCancel(context.Background()) //lint:allow background — frontend lifetime root, cancelled in Close
+	f.cache = newResultCache(cfg.CacheBudget, cfg.CacheShards)
+	f.tenants = newTenantTable(cfg.TenantRate, cfg.TenantBurst, func() time.Time { return f.nowFn() })
 	f.tune = f.baseTuning()
 	f.admit = semaphore(f.tune.maxInFlight)
 	f.workers = semaphore(f.tune.dispatchWorkers)
@@ -425,6 +465,12 @@ func (f *Frontend) ApplyView(v proto.View) error {
 	if f.pl != nil && viewOlder(v, f.view) {
 		return ErrStaleView
 	}
+	// A strictly newer (Term, Epoch) invalidates the result cache:
+	// placement, quarantine, or membership moved, so cached merges may
+	// no longer reflect what a fan-out would return. Re-applying the
+	// installed view (the harness's SyncView refresh, a poll answering
+	// with the same epoch) must NOT — it proves nothing changed.
+	newer := f.pl == nil || v.Term > f.view.Term || (v.Term == f.view.Term && v.Epoch > f.view.Epoch)
 	// Apply execution-pipeline tuning pushed with the view (§4.9-style
 	// central control). Resized semaphores only govern newly admitted
 	// work; queries holding a slot release onto the channel they
@@ -502,6 +548,12 @@ func (f *Frontend) ApplyView(v proto.View) error {
 	}
 	f.view = v
 	f.pl = pl
+	if newer && f.cache != nil {
+		f.cacheGen.Add(1)
+	}
+	// The view also carries the coordinator's ingest watermarks; feed
+	// them through the same fence (atomics — safe under f.mu).
+	f.ObserveIngest(v.Ingested, v.Drained)
 	return nil
 }
 
@@ -573,50 +625,149 @@ func (f *Frontend) estimator() core.Estimator {
 	})
 }
 
-// QuerySpec names one query's payload for the pluggable node data
-// planes: Enc is the PPS encrypted query (the default), Plain — when
-// non-nil — routes to the nodes' roaring-bitmap index matcher instead.
-// The scheduling, hedging, failure-recovery, and merge pipeline is
-// identical for both.
+// QuerySpec is one query: its payload for the pluggable node data
+// planes — Enc, the PPS encrypted query (the default), or Plain, which
+// routes to the nodes' roaring-bitmap index matcher — plus the
+// admission and caching options. The scheduling, hedging,
+// failure-recovery, and merge pipeline is identical for both planes.
 type QuerySpec struct {
 	Enc   pps.Query
 	Plain *proto.PlainQuery
+
+	// Tenant names the accounting principal for quota and telemetry;
+	// empty is the anonymous tenant.
+	Tenant string
+	// Priority selects the admission class (PriorityNormal when zero).
+	Priority Priority
+	// CacheControl is one of proto.CacheDefault / CacheBypass /
+	// CacheRefresh; unknown values behave as CacheDefault.
+	CacheControl uint8
 }
 
-// Execute runs one encrypted query end to end at PriorityNormal:
-// admission, scheduling, pipelined dispatch with hedging, and
-// streaming merge.
+// Query runs one query end to end: result-cache lookup, single-flight
+// coalescing, admission (overload shed, tenant quota, in-flight
+// window), scheduling, pipelined dispatch with hedging, and streaming
+// merge. It subsumes the deprecated Execute/ExecuteOpts/ExecutePlain/
+// ExecuteSpec quartet.
+//
+// Cache hits bypass admission entirely — they consume no slot, no
+// quota token, and no dispatch worker, which is the point of having
+// the cache. A miss that finds another query already fanning out for
+// the same key and generation waits for that flight instead of
+// dispatching its own; if the flight fails, the waiter falls back to a
+// full execution of its own, so coalescing can only remove work.
+func (f *Frontend) Query(ctx context.Context, spec QuerySpec) (Result, error) {
+	t0 := f.nowFn()
+	c := f.cache
+	cc := cacheControl(spec.CacheControl)
+	var key string
+	var gen uint64
+	if c != nil && cc != proto.CacheBypass {
+		key = cacheKey(spec)
+		gen = f.cacheGen.Load()
+		if cc == proto.CacheDefault {
+			if ids, ok := c.get(key, gen); ok {
+				f.tenants.noteCacheHit(spec.Tenant)
+				delay := f.nowFn().Sub(t0)
+				f.statMu.Lock()
+				f.hitS.Add(delay.Seconds())
+				f.statMu.Unlock()
+				return Result{IDs: ids, Delay: delay, Source: SourceCache, Cache: c.stats()}, nil
+			}
+			f.tenants.noteCacheMiss(spec.Tenant)
+			if fl, leader := c.startFlight(key, gen); !leader {
+				select {
+				case <-fl.done:
+				case <-ctx.Done():
+					return Result{}, ctx.Err()
+				}
+				if fl.err == nil {
+					c.noteCoalesced()
+					f.tenants.noteCacheHit(spec.Tenant)
+					ids := make([]uint64, len(fl.ids))
+					copy(ids, fl.ids)
+					delay := f.nowFn().Sub(t0)
+					f.statMu.Lock()
+					f.hitS.Add(delay.Seconds())
+					f.statMu.Unlock()
+					return Result{IDs: ids, Delay: delay, Source: SourceCache, Cache: c.stats()}, nil
+				}
+				// The leader failed (shed, timeout, fan-out error); its
+				// failure is not necessarily ours. Execute independently.
+				return f.execute(ctx, spec, t0, key, gen)
+			} else if fl != nil {
+				res, err := f.execute(ctx, spec, t0, key, gen)
+				c.finishFlight(key, fl, res.IDs, err)
+				return res, err
+			}
+			// fl == nil: a stale-generation flight is still draining;
+			// lead unregistered rather than inherit its fenced result.
+			return f.execute(ctx, spec, t0, key, gen)
+		}
+		f.tenants.noteCacheMiss(spec.Tenant) // CacheRefresh: forced miss
+	}
+	return f.execute(ctx, spec, t0, key, gen)
+}
+
+// Execute runs one encrypted query end to end at PriorityNormal.
+//
+// Deprecated: use Query with QuerySpec{Enc: q}.
 func (f *Frontend) Execute(ctx context.Context, q pps.Query) (Result, error) {
-	return f.ExecuteOpts(ctx, q, ExecOptions{})
+	return f.Query(ctx, QuerySpec{Enc: q})
 }
 
 // ExecuteOpts is Execute with explicit per-query options.
+//
+// Deprecated: use Query; QuerySpec carries Priority directly.
 func (f *Frontend) ExecuteOpts(ctx context.Context, q pps.Query, opts ExecOptions) (Result, error) {
-	return f.ExecuteSpec(ctx, QuerySpec{Enc: q}, opts)
+	return f.Query(ctx, QuerySpec{Enc: q, Priority: opts.Priority})
 }
 
 // ExecutePlain runs one plaintext index query at PriorityNormal. Each
 // node returns at most pq.Limit of the numerically-smallest ids in its
 // arc; the merged result is cut to the same global top-k after the
 // final sort, so the answer matches a single-index evaluation.
+//
+// Deprecated: use Query with QuerySpec{Plain: &pq}.
 func (f *Frontend) ExecutePlain(ctx context.Context, pq proto.PlainQuery) (Result, error) {
-	return f.ExecuteSpec(ctx, QuerySpec{Plain: &pq}, ExecOptions{})
+	return f.Query(ctx, QuerySpec{Plain: &pq})
 }
 
-// ExecuteSpec is the full-generality entry point: any data plane, any
-// options. PriorityLow queries are shed with ErrShed — before consuming
-// an admission slot — while the cluster's reported queue depths are
-// over the shed high-water mark.
+// ExecuteSpec is the pre-cache entry point: any data plane, any
+// options.
+//
+// Deprecated: use Query; QuerySpec absorbed ExecOptions.
 func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOptions) (Result, error) {
-	t0 := f.nowFn()
-	if opts.Priority < PriorityNormal && f.overloaded() {
+	if spec.Priority == PriorityNormal {
+		spec.Priority = opts.Priority
+	}
+	return f.Query(ctx, spec)
+}
+
+// execute is the uncached pipeline: admission (overload shed, tenant
+// quota, in-flight window), scheduling, dispatch, merge, and — when key
+// is non-empty, the query succeeded, and the generation fence has not
+// moved — the cache store. PriorityLow and PriorityBulk queries are
+// shed with ErrShed — before consuming an admission slot — while the
+// cluster's reported queue depths are over the shed high-water mark.
+func (f *Frontend) execute(ctx context.Context, spec QuerySpec, t0 time.Time, key string, gen uint64) (Result, error) {
+	if spec.Priority < PriorityNormal && f.overloaded() {
 		f.shed.Add(1)
+		f.tenants.noteShed(spec.Tenant)
 		return Result{}, ErrShed
 	}
 	f.mu.RLock()
 	admit := f.admit
 	queueTO := f.tune.queueTimeout
 	f.mu.RUnlock()
+	// Tenant quota: decided before queueing for a slot, against the
+	// pool's current contention (all slots taken = contended), so a
+	// over-quota tenant is turned away while compliant tenants queue.
+	contended := admit != nil && len(admit) == cap(admit)
+	if !f.tenantAdmit(spec.Tenant, spec.Priority, contended) {
+		f.tenants.noteShed(spec.Tenant)
+		return Result{}, ErrTenantShed
+	}
 	if admit != nil {
 		var timeout <-chan time.Time
 		if queueTO > 0 {
@@ -638,6 +789,7 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 	}
 	queueDur := f.nowFn().Sub(t0)
 	f.queueLat.observe(queueDur)
+	f.tenants.noteAdmitted(spec.Tenant)
 
 	tSched := f.nowFn()
 	f.mu.RLock()
@@ -712,6 +864,13 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 		HedgesDenied: agg.hedgesDenied,
 		HedgeWins:    agg.hedgeWins,
 		Scanned:      agg.scanned,
+		Source:       SourceFanout,
+	}
+	if out.Hedges > 0 {
+		out.Source = SourceHedged
+	}
+	if f.cache != nil {
+		out.Cache = f.cache.stats()
 	}
 	if out.HedgesDenied > 0 {
 		f.hdgDenied.Add(int64(out.HedgesDenied))
@@ -728,6 +887,13 @@ func (f *Frontend) ExecuteSpec(ctx context.Context, spec QuerySpec, opts ExecOpt
 	f.statMu.Unlock()
 	if agg.err != nil {
 		return out, agg.err
+	}
+	// Store only results still provably current: if the generation
+	// moved while the fan-out ran (a view installed, a write was
+	// observed), this merge may predate the change — serving it later
+	// would be exactly the stale hit the fence exists to prevent.
+	if f.cache != nil && key != "" && gen == f.cacheGen.Load() {
+		f.cache.put(key, out.IDs, gen)
 	}
 	return out, nil
 }
@@ -936,9 +1102,13 @@ func (f *Frontend) sendSub(ctx context.Context, workers chan struct{}, qid uint6
 }
 
 // Breakdown reports the accumulated per-phase delay means in seconds
-// (Fig 7.11, plus the admission queue wait).
+// (Fig 7.11, plus the admission queue wait). Cache hits are kept out
+// of the fan-out phases — a hit has no queue, schedule, dispatch, or
+// merge — and summarised separately in CacheHit, so the phase means
+// keep describing what fan-outs cost.
 type Breakdown struct {
 	Queue, Schedule, Dispatch, Merge, Total stats.Summary
+	CacheHit                                stats.Summary
 }
 
 // DelayBreakdown returns the phase summaries.
@@ -951,5 +1121,6 @@ func (f *Frontend) DelayBreakdown() Breakdown {
 		Dispatch: f.dispatchS.Summarize(),
 		Merge:    f.mergeS.Summarize(),
 		Total:    f.totalS.Summarize(),
+		CacheHit: f.hitS.Summarize(),
 	}
 }

@@ -275,3 +275,49 @@ func TestMergeDedup(t *testing.T) {
 		}
 	}
 }
+
+// TestDeprecatedWrappersMatchQuery pins the compatibility contract of
+// the Execute* quartet: each wrapper is a pure delegate to Query, so
+// answers (and their stats) are identical for identical inputs.
+func TestDeprecatedWrappersMatchQuery(t *testing.T) {
+	enc := slimEncoder()
+	v, nodes := testView(t, enc, 4, 2)
+	loadAll(t, nodes, enc, []string{"aa", "bb", "aa"})
+	fe := New(Config{})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "aa"})
+
+	want, err := fe.Query(context.Background(), QuerySpec{Enc: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(name string, got Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.IDs) != len(want.IDs) || got.Source != want.Source {
+			t.Errorf("%s: %d ids via %q, Query gave %d via %q",
+				name, len(got.IDs), got.Source, len(want.IDs), want.Source)
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("%s: id[%d] = %#x, want %#x", name, i, got.IDs[i], want.IDs[i])
+			}
+		}
+	}
+	r, err := fe.Execute(context.Background(), q)
+	same("Execute", r, err)
+	r, err = fe.ExecuteOpts(context.Background(), q, ExecOptions{Priority: PriorityHigh})
+	same("ExecuteOpts", r, err)
+	r, err = fe.ExecuteSpec(context.Background(), QuerySpec{Enc: q}, ExecOptions{})
+	same("ExecuteSpec", r, err)
+	// ExecuteSpec's option-merge rule: an explicit spec priority wins,
+	// the legacy opts priority fills the zero value.
+	r, err = fe.ExecuteSpec(context.Background(), QuerySpec{Enc: q, Priority: PriorityHigh},
+		ExecOptions{Priority: PriorityLow})
+	same("ExecuteSpec(priority merge)", r, err)
+}

@@ -258,6 +258,7 @@ func (f *Frontend) HealthReport() proto.HealthReport {
 		HedgesDenied:  int(f.hdgDenied.Swap(0)),
 		QueueP50Nanos: f.queueLat.quantile(0.50).Nanoseconds(),
 		QueueP99Nanos: f.queueLat.quantile(0.99).Nanoseconds(),
+		Tenants:       f.tenants.snapshot(),
 	}
 	f.mu.RLock()
 	handles := make([]*handle, 0, len(f.nodes))
@@ -301,6 +302,7 @@ func (f *Frontend) RestoreHealthReport(rep proto.HealthReport) {
 	f.shed.Add(int64(rep.Shed))
 	f.shedNorm.Add(int64(rep.ShedNormal))
 	f.hdgDenied.Add(int64(rep.HedgesDenied))
+	f.tenants.restore(rep.Tenants)
 	f.mu.RLock()
 	handles := make(map[int]*handle, len(f.nodes))
 	for id, h := range f.nodes {

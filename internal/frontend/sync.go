@@ -82,12 +82,17 @@ type Syncer struct {
 	mu sync.Mutex
 	// Mixed-version downgrades, each latched only by its specific
 	// rejection: legacy when the coordinator predates member.health
-	// entirely, stripExt when it predates the autoscale telemetry
-	// extension block. sinceProbe counts downgraded pushes toward the
-	// next full-fidelity re-probe.
-	legacy     bool
-	stripExt   bool
-	sinceProbe int
+	// entirely, stripTenants when it has the autoscale telemetry block
+	// but predates the per-tenant block trailing it, stripExt when it
+	// predates both extension blocks. A trailing-bytes rejection
+	// latches the shallowest strip that removes the trailer actually
+	// sent (the ladder: full → no tenants → no extensions → legacy
+	// method). sinceProbe counts downgraded pushes toward the next
+	// full-fidelity re-probe.
+	legacy       bool
+	stripTenants bool
+	stripExt     bool
+	sinceProbe   int
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -195,6 +200,10 @@ func (s *Syncer) Ingest(ctx context.Context, recs []pps.Encoded) (proto.IngestRe
 	if err := s.mc.Call(ctx, proto.MMemberIngest, proto.IngestReq{Records: recs}, &resp); err != nil {
 		return proto.IngestResp{}, err
 	}
+	// A write acknowledged THROUGH this frontend invalidates its result
+	// cache immediately — the tightest read-your-writes signal there
+	// is, ahead of the next view poll carrying the same watermarks.
+	s.fe.ObserveIngest(resp.Seq, resp.Drained)
 	return resp, nil
 }
 
@@ -209,9 +218,9 @@ func (s *Syncer) Ingest(ctx context.Context, recs []pps.Encoded) (proto.IngestRe
 // would silence failure evidence when it matters most.
 func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 	s.mu.Lock()
-	legacy, stripExt := s.legacy, s.stripExt
+	legacy, stripTen, stripExt := s.legacy, s.stripTenants, s.stripExt
 	probe := false
-	if legacy || stripExt {
+	if legacy || stripTen || stripExt {
 		s.sinceProbe++
 		if s.sinceProbe >= downgradeProbeEvery {
 			s.sinceProbe = 0
@@ -225,8 +234,14 @@ func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 	}
 	rep := s.fe.HealthReport()
 	send := rep
-	if stripExt && !probe {
-		send = rep.StripExt()
+	sentStripTen, sentStripExt := false, false
+	if !probe {
+		switch {
+		case stripExt:
+			send, sentStripExt = rep.StripExt(), true
+		case stripTen:
+			send, sentStripTen = rep.StripTenants(), true
+		}
 	}
 	var hr proto.HealthResp
 	if err := s.mc.Call(ctx, proto.MMemberHealth, send, &hr); err != nil {
@@ -234,14 +249,24 @@ func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 		// downgrade consumes this report without delivering it.
 		s.fe.RestoreHealthReport(rep)
 		if toLegacy, toStrip := downgradeSignal(err); toLegacy || toStrip {
+			// A trailing-bytes rejection names the trailer of the form
+			// actually sent: if this push carried the tenant block,
+			// stripping just it may suffice; if the tenant block was
+			// already absent (stripped, or nothing to report), the
+			// rejected trailer was the autoscale block itself.
+			toStripTen := toStrip && !sentStripTen && !sentStripExt && send.HasTenantExt()
+			toStripExt := toStrip && !toStripTen
 			s.mu.Lock()
-			changed := s.legacy != toLegacy || s.stripExt != toStrip
-			s.legacy, s.stripExt = toLegacy, toStrip
+			changed := s.legacy != toLegacy || s.stripTenants != toStripTen || s.stripExt != toStripExt
+			s.legacy, s.stripTenants, s.stripExt = toLegacy, toStripTen, toStripExt
 			s.sinceProbe = 0
 			s.mu.Unlock()
-			if changed && toLegacy {
+			switch {
+			case changed && toLegacy:
 				s.logf("frontend: coordinator predates member.health; downgrading to legacy reports")
-			} else if changed {
+			case changed && toStripTen:
+				s.logf("frontend: coordinator predates tenant telemetry; stripping tenant block")
+			case changed:
 				s.logf("frontend: coordinator predates telemetry extension; stripping reports")
 			}
 		}
@@ -251,7 +276,7 @@ func (s *Syncer) PushHealthOnce(ctx context.Context) error {
 		// The full-fidelity probe landed: the coordinator was upgraded,
 		// or failover reached a newer replica. Un-latch.
 		s.mu.Lock()
-		s.legacy, s.stripExt = false, false
+		s.legacy, s.stripTenants, s.stripExt = false, false, false
 		s.mu.Unlock()
 		s.logf("frontend: coordinator accepts full health reports again; downgrade cleared")
 	}

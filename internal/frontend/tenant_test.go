@@ -1,0 +1,242 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"roar/internal/pps"
+	"roar/internal/proto"
+)
+
+// fakeClock (hedgebudget_test.go) serves as the hand-advanced time
+// source for the token buckets here too.
+
+func TestTenantTableTakeAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tt := newTenantTable(1, 2, clk.now) // 1 token/s, burst 2
+
+	if !tt.take("a") || !tt.take("a") {
+		t.Fatal("burst of 2 must admit two takes")
+	}
+	if tt.take("a") {
+		t.Fatal("third take admitted with an empty bucket")
+	}
+	clk.advance(time.Second)
+	if !tt.take("a") {
+		t.Fatal("one second at rate 1 must refill one token")
+	}
+	if tt.take("a") {
+		t.Fatal("refill over-credited")
+	}
+	// Refill caps at burst, not unbounded accrual.
+	clk.advance(time.Hour)
+	if !tt.take("a") || !tt.take("a") {
+		t.Fatal("bucket should be back at burst capacity")
+	}
+	if tt.take("a") {
+		t.Fatal("refill exceeded burst")
+	}
+	// Buckets are per tenant.
+	if !tt.take("b") {
+		t.Fatal("tenant b's bucket drained by tenant a")
+	}
+}
+
+func TestTenantTableDisabled(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tt := newTenantTable(0, 0, clk.now)
+	for i := 0; i < 100; i++ {
+		if !tt.take("a") {
+			t.Fatal("rate <= 0 must disable quota enforcement")
+		}
+	}
+	var nilTable *tenantTable
+	if !nilTable.take("a") {
+		t.Fatal("nil table must admit")
+	}
+	nilTable.noteAdmitted("a") // no-ops, must not panic
+	nilTable.noteShed("a")
+	nilTable.noteCacheHit("a")
+	nilTable.noteCacheMiss("a")
+	if nilTable.snapshot() != nil {
+		t.Fatal("nil table snapshot must be empty")
+	}
+}
+
+func TestTenantAdmitClasses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	fe := New(Config{TenantRate: 0.0001, TenantBurst: 1})
+	defer fe.Close()
+	fe.tenants.nowFn = clk.now
+
+	// High bypasses the quota even under contention with a dry bucket.
+	for i := 0; i < 3; i++ {
+		if !fe.tenantAdmit("hot", PriorityHigh, true) {
+			t.Fatal("PriorityHigh must never be quota-shed")
+		}
+	}
+	// Normal is work-conserving: unmetered while the pool has slack.
+	for i := 0; i < 3; i++ {
+		if !fe.tenantAdmit("hot", PriorityNormal, false) {
+			t.Fatal("uncontended Normal must admit regardless of bucket")
+		}
+	}
+	// Under contention Normal spends tokens: burst 1 admits once.
+	if !fe.tenantAdmit("hot", PriorityNormal, true) {
+		t.Fatal("first contended Normal should spend the burst token")
+	}
+	if fe.tenantAdmit("hot", PriorityNormal, true) {
+		t.Fatal("second contended Normal must be quota-shed")
+	}
+	// Bulk is metered even on an idle pool.
+	if fe.tenantAdmit("hot", PriorityBulk, false) {
+		t.Fatal("Bulk must be metered even uncontended")
+	}
+	if !fe.tenantAdmit("cold", PriorityBulk, false) {
+		t.Fatal("a fresh tenant's Bulk should spend its own burst")
+	}
+}
+
+func TestTenantSnapshotDrainsAndRestores(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tt := newTenantTable(1, 8, clk.now)
+	tt.noteAdmitted("a")
+	tt.noteAdmitted("a")
+	tt.noteShed("a")
+	tt.noteCacheHit("b")
+	tt.noteCacheMiss("b")
+
+	snap := tt.snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d tenants, want 2", len(snap))
+	}
+	byName := map[string]proto.TenantLoad{}
+	for _, tl := range snap {
+		byName[tl.Tenant] = tl
+	}
+	if a := byName["a"]; a.Admitted != 2 || a.Shed != 1 {
+		t.Errorf("tenant a: %+v", a)
+	}
+	if b := byName["b"]; b.CacheHits != 1 || b.CacheMisses != 1 {
+		t.Errorf("tenant b: %+v", b)
+	}
+	// Destructive: a second snapshot reports nothing.
+	if again := tt.snapshot(); len(again) != 0 {
+		t.Fatalf("second snapshot not empty: %v", again)
+	}
+	// Restore folds the deltas back for the next report.
+	tt.restore(snap)
+	if back := tt.snapshot(); len(back) != 2 {
+		t.Fatalf("restore lost tenants: %v", back)
+	}
+}
+
+func TestTenantSnapshotOverflowFolds(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tt := newTenantTable(1, 8, clk.now)
+	const n = maxTenantsPerReport + 40
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%03d", i)
+		// Larger index = more load, so the fold takes the small tail.
+		for j := 0; j <= i%7; j++ {
+			tt.noteAdmitted(name)
+		}
+		tt.noteShed(name)
+	}
+	snap := tt.snapshot()
+	if len(snap) != maxTenantsPerReport+1 {
+		t.Fatalf("snapshot has %d entries, want %d named + 1 overflow",
+			len(snap), maxTenantsPerReport)
+	}
+	var admitted, shed int
+	sawOverflow := false
+	for _, tl := range snap {
+		admitted += tl.Admitted
+		shed += tl.Shed
+		if tl.Tenant == tenantOverflow {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Fatal("overflow bucket missing")
+	}
+	wantAdmitted := 0
+	for i := 0; i < n; i++ {
+		wantAdmitted += i%7 + 1
+	}
+	if admitted != wantAdmitted || shed != n {
+		t.Errorf("totals not conserved across fold: admitted=%d want %d, shed=%d want %d",
+			admitted, wantAdmitted, shed, n)
+	}
+}
+
+func TestTenantTableEvictsLeastRecentlyActive(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tt := newTenantTable(1, 8, clk.now)
+	for i := 0; i < maxTenantStates; i++ {
+		tt.noteAdmitted(fmt.Sprintf("t%04d", i))
+		clk.advance(time.Millisecond)
+	}
+	// Touch t0000 so t0001 becomes the eviction victim.
+	tt.noteAdmitted("t0000")
+	clk.advance(time.Millisecond)
+	tt.noteAdmitted("fresh")
+	tt.mu.Lock()
+	_, kept := tt.m["t0000"]
+	_, evicted := tt.m["t0001"]
+	n := len(tt.m)
+	tt.mu.Unlock()
+	if n != maxTenantStates {
+		t.Errorf("table grew to %d states, cap is %d", n, maxTenantStates)
+	}
+	if !kept {
+		t.Error("recently-active tenant evicted")
+	}
+	if evicted {
+		t.Error("least-recently-active tenant survived")
+	}
+}
+
+// TestQueryBulkTenantShed: end-to-end through Query — a bulk tenant past
+// its burst is rejected with ErrTenantShed before taking a slot, and the
+// shed shows up in the health report's tenant block.
+func TestQueryBulkTenantShed(t *testing.T) {
+	enc := slimEncoder()
+	v, nodes := testView(t, enc, 2, 1)
+	loadAll(t, nodes, enc, []string{"aa"})
+	fe := New(Config{TenantRate: 0.0001, TenantBurst: 2})
+	defer fe.Close()
+	if err := fe.ApplyView(v); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := enc.EncryptQuery(pps.And, pps.Predicate{Kind: pps.Keyword, Word: "aa"})
+	spec := QuerySpec{Enc: q, Tenant: "batch", Priority: PriorityBulk}
+
+	for i := 0; i < 2; i++ {
+		if _, err := fe.Query(context.Background(), spec); err != nil {
+			t.Fatalf("within-burst bulk query %d: %v", i, err)
+		}
+	}
+	if _, err := fe.Query(context.Background(), spec); !errors.Is(err, ErrTenantShed) {
+		t.Fatalf("over-burst bulk query: err = %v, want ErrTenantShed", err)
+	}
+	// A well-behaved tenant is unaffected.
+	if _, err := fe.Query(context.Background(), QuerySpec{Enc: q, Tenant: "ok", Priority: PriorityBulk}); err != nil {
+		t.Fatalf("other tenant sheds with the hot one: %v", err)
+	}
+
+	rep := fe.HealthReport()
+	byName := map[string]proto.TenantLoad{}
+	for _, tl := range rep.Tenants {
+		byName[tl.Tenant] = tl
+	}
+	if b := byName["batch"]; b.Admitted != 2 || b.Shed != 1 {
+		t.Errorf("tenant batch telemetry: %+v, want 2 admitted / 1 shed", b)
+	}
+	if o := byName["ok"]; o.Admitted != 1 || o.Shed != 0 {
+		t.Errorf("tenant ok telemetry: %+v, want 1 admitted / 0 shed", o)
+	}
+}

@@ -96,7 +96,20 @@ type healthState struct {
 	queueWaitAt      map[string]time.Time  // when each frontend's gauge last refreshed
 	depths           map[ring.NodeID]int   // last reported queue depth per node
 	latP99           map[ring.NodeID]int64 // last reported latency p99 per node (ns)
+
+	// Per-tenant economics (the second extension block): fleet-wide
+	// cumulative admissions, sheds, and cache traffic keyed by tenant id.
+	// Frontends ship deltas; the aggregate answers "who is being shed".
+	tenants map[string]proto.TenantLoad
 }
+
+// maxTenantTotals bounds the aggregate tenant map; past it, new tenant
+// ids fold into the same overflow bucket frontends use, so totals still
+// conserve while a tenant-id flood cannot exhaust coordinator memory.
+const (
+	maxTenantTotals      = 4096
+	tenantTotalsOverflow = "~other"
+)
 
 // feGaugeStaleness expires a frontend's queue-wait gauge when it stops
 // reporting (crashed or decommissioned FE): a last-writer-wins gauge
@@ -113,6 +126,7 @@ func newHealthState(cfg HealthConfig) *healthState {
 		queueWaitAt:  map[string]time.Time{},
 		depths:       map[ring.NodeID]int{},
 		latP99:       map[ring.NodeID]int64{},
+		tenants:      map[string]proto.TenantLoad{},
 	}
 }
 
@@ -192,6 +206,19 @@ func (c *Coordinator) ReportHealth(rep proto.HealthReport) proto.HealthResp {
 	h.shedTotal += int64(rep.Shed)
 	h.shedNormalTotal += int64(rep.ShedNormal)
 	h.hedgeDeniedTotal += int64(rep.HedgesDenied)
+	for _, tl := range rep.Tenants {
+		name := tl.Tenant
+		if _, known := h.tenants[name]; !known && len(h.tenants) >= maxTenantTotals {
+			name = tenantTotalsOverflow
+		}
+		cur := h.tenants[name]
+		cur.Tenant = name
+		cur.Admitted += tl.Admitted
+		cur.Shed += tl.Shed
+		cur.CacheHits += tl.CacheHits
+		cur.CacheMisses += tl.CacheMisses
+		h.tenants[name] = cur
+	}
 	if rep.FE != "" {
 		h.queueWaitP99[rep.FE] = rep.QueueP99Nanos
 		h.queueWaitAt[rep.FE] = h.cfg.Now()
@@ -290,6 +317,28 @@ func (c *Coordinator) ShedTotal() int64 {
 	c.health.mu.Lock()
 	defer c.health.mu.Unlock()
 	return c.health.shedTotal
+}
+
+// TenantTotals snapshots the fleet-wide per-tenant economics aggregated
+// from health reports, sorted by total load descending then tenant id —
+// the operator's answer to "who is consuming the fleet and who is being
+// shed".
+func (c *Coordinator) TenantTotals() []proto.TenantLoad {
+	c.health.mu.Lock()
+	out := make([]proto.TenantLoad, 0, len(c.health.tenants))
+	for _, tl := range c.health.tenants {
+		out = append(out, tl)
+	}
+	c.health.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		la := out[a].Admitted + out[a].Shed + out[a].CacheHits + out[a].CacheMisses
+		lb := out[b].Admitted + out[b].Shed + out[b].CacheHits + out[b].CacheMisses
+		if la != lb {
+			return la > lb
+		}
+		return out[a].Tenant < out[b].Tenant
+	})
+	return out
 }
 
 // QuarantineInfo names one quarantined node and when it entered

@@ -2,6 +2,7 @@ package membership
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"roar/internal/proto"
@@ -248,5 +249,62 @@ func TestMixedVersionJSONFrontendInterop(t *testing.T) {
 	}
 	if st := nw.Stats(); st.Binary == 0 {
 		t.Fatal("new client never negotiated the binary framing")
+	}
+}
+
+// TestHealthTenantAggregation: per-tenant deltas from multiple
+// frontends accumulate into fleet totals, and a tenant-id flood folds
+// into the overflow bucket instead of growing without bound.
+func TestHealthTenantAggregation(t *testing.T) {
+	c, _ := healthCoordinator(t, 1, HealthConfig{})
+	repA := report("a", 1)
+	repA.Tenants = []proto.TenantLoad{{Tenant: "acme", Admitted: 5, Shed: 1, CacheHits: 3}}
+	c.ReportHealth(repA)
+	repB := report("b", 1)
+	repB.Tenants = []proto.TenantLoad{
+		{Tenant: "acme", Admitted: 2, CacheMisses: 4},
+		{Tenant: "beta", Shed: 7},
+	}
+	c.ReportHealth(repB)
+
+	totals := c.TenantTotals()
+	if len(totals) != 2 {
+		t.Fatalf("got %d tenants, want 2: %v", len(totals), totals)
+	}
+	if acme := totals[0]; acme.Tenant != "acme" || acme.Admitted != 7 || acme.Shed != 1 ||
+		acme.CacheHits != 3 || acme.CacheMisses != 4 {
+		t.Errorf("acme totals wrong: %+v", acme)
+	}
+	if beta := totals[1]; beta.Tenant != "beta" || beta.Shed != 7 {
+		t.Errorf("beta totals wrong: %+v", beta)
+	}
+
+	// A duplicate report (same FE, same seq) must not double-count.
+	c.ReportHealth(repB)
+	if got := c.TenantTotals()[1]; got.Shed != 7 {
+		t.Errorf("duplicate report double-counted tenant deltas: %+v", got)
+	}
+
+	// Flood: past the cap, new ids fold into the overflow bucket.
+	h := c.health
+	h.mu.Lock()
+	for i := len(h.tenants); i < maxTenantTotals; i++ {
+		name := fmt.Sprintf("f%05d", i)
+		h.tenants[name] = proto.TenantLoad{Tenant: name}
+	}
+	h.mu.Unlock()
+	repC := report("c", 1)
+	repC.Tenants = []proto.TenantLoad{{Tenant: "brand-new", Admitted: 9}}
+	c.ReportHealth(repC)
+	h.mu.Lock()
+	_, grewPast := h.tenants["brand-new"]
+	over := h.tenants[tenantTotalsOverflow]
+	n := len(h.tenants)
+	h.mu.Unlock()
+	if grewPast || n > maxTenantTotals+1 {
+		t.Errorf("tenant flood grew the table: n=%d newTenantTracked=%v", n, grewPast)
+	}
+	if over.Admitted != 9 {
+		t.Errorf("overflow bucket did not absorb the flood delta: %+v", over)
 	}
 }

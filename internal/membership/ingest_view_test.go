@@ -1,0 +1,53 @@
+package membership
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"roar/internal/ingest"
+)
+
+// TestViewCarriesIngestWatermarks: every view reports the coordinator's
+// WAL watermarks so frontends can fence their result caches against
+// deliveries that happen without an epoch bump (docs/ECONOMICS.md).
+func TestViewCarriesIngestWatermarks(t *testing.T) {
+	wal, err := ingest.Open(t.TempDir(), ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{P: 1, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer wal.Close()
+	enc := slimEncoder()
+	_, addrs := startNodes(t, enc, 1)
+	if _, err := c.Join(context.Background(), addrs[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartIngest(IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := c.View(); v.Ingested != 0 || v.Drained != 0 {
+		t.Fatalf("fresh view watermarks = %d/%d, want 0/0", v.Ingested, v.Drained)
+	}
+	recs := corpus(t, enc, 3)
+	seq, err := c.IngestAppend(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.View(); v.Ingested != seq {
+		t.Errorf("view Ingested = %d, want %d", v.Ingested, seq)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.WaitIngestDrained(ctx, seq); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.View(); v.Drained != seq || v.Ingested != seq {
+		t.Errorf("post-drain view watermarks = %d/%d, want %d/%d", v.Ingested, v.Drained, seq, seq)
+	}
+}

@@ -164,7 +164,12 @@ func (c *Coordinator) View() proto.View {
 }
 
 func (c *Coordinator) viewLocked() proto.View {
-	v := proto.View{Epoch: c.epoch, P: c.p, Tuning: c.cfg.Tuning}
+	// The ingest watermarks ride every view so frontends can fence their
+	// result caches against deliveries that never bump the epoch.
+	v := proto.View{
+		Epoch: c.epoch, P: c.p, Tuning: c.cfg.Tuning,
+		Ingested: c.ingestSeq, Drained: c.ingestDrained,
+	}
 	c.health.mu.Lock()
 	quarantined := make(map[ring.NodeID]bool, len(c.health.quarantined))
 	for id := range c.health.quarantined {

@@ -303,6 +303,95 @@ func (q *QueryReq) DecodeWire(data []byte) error {
 	return r.finish("QueryReq")
 }
 
+// --- FEQueryReq ---
+
+// AppendWire implements wire.WireAppender. Unlike QueryReq, the Plain
+// selector is an explicit flag byte — the trailing-bytes position is
+// taken by the tenant/cache-control extension, which is emitted only
+// when set so an anonymous default-cache request stays byte-identical
+// to the base form. A server that predates the extension rejects the
+// trailer with CodeTrailingBytes and the client strips it; a server
+// that predates the binary codec entirely fails with the binary-body
+// decode error and the client falls back to JSON (see
+// internal/feclient for the ladder).
+func (q FEQueryReq) AppendWire(b []byte) []byte {
+	b = appendZigzag(b, int64(q.Priority))
+	b = append(b, byte(q.Q.Op))
+	b = binary.AppendUvarint(b, uint64(len(q.Q.Preds)))
+	for _, p := range q.Q.Preds {
+		b = binary.AppendUvarint(b, uint64(len(p.Trapdoor)))
+		for _, x := range p.Trapdoor {
+			b = binary.AppendUvarint(b, uint64(len(x)))
+			b = append(b, x...)
+		}
+	}
+	if q.Plain == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = append(b, q.Plain.Mode)
+		b = appendZigzag(b, int64(q.Plain.MinMatch))
+		b = appendZigzag(b, int64(q.Plain.Limit))
+		b = binary.AppendUvarint(b, uint64(len(q.Plain.Terms)))
+		for _, t := range q.Plain.Terms {
+			b = binary.AppendUvarint(b, uint64(len(t)))
+			b = append(b, t...)
+		}
+	}
+	if !q.HasExt() {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(q.Tenant)))
+	b = append(b, q.Tenant...)
+	b = append(b, q.CacheControl)
+	return b
+}
+
+// DecodeWire implements wire.WireDecoder. Accepts both the base
+// encoding (Tenant stays "", CacheControl 0) and the extended one,
+// signalled purely by trailing bytes after the base fields.
+func (q *FEQueryReq) DecodeWire(data []byte) error {
+	r := &reader{data: data}
+	q.Priority = int(r.zigzag("FEQueryReq.Priority"))
+	q.Q.Op = pps.BoolOp(r.byte("FEQueryReq.Op"))
+	nPreds := r.count("FEQueryReq.Preds", 1)
+	q.Q.Preds = nil
+	if nPreds > 0 && r.err == nil {
+		q.Q.Preds = make([]pps.BloomQuery, 0, capHint(nPreds))
+		for i := 0; i < nPreds && r.err == nil; i++ {
+			nTd := r.count("FEQueryReq.Trapdoor", 1)
+			if r.err != nil {
+				break
+			}
+			td := make([][]byte, 0, capHint(nTd))
+			for j := 0; j < nTd && r.err == nil; j++ {
+				td = append(td, r.bytes("FEQueryReq.Trapdoor element"))
+			}
+			q.Q.Preds = append(q.Q.Preds, pps.BloomQuery{Trapdoor: td})
+		}
+	}
+	q.Plain = nil
+	if flag := r.byte("FEQueryReq.Plain flag"); r.err == nil && flag != 0 {
+		p := &PlainQuery{}
+		p.Mode = r.byte("FEQueryReq PlainQuery.Mode")
+		p.MinMatch = int(r.zigzag("FEQueryReq PlainQuery.MinMatch"))
+		p.Limit = int(r.zigzag("FEQueryReq PlainQuery.Limit"))
+		nTerms := r.count("FEQueryReq PlainQuery.Terms", 1)
+		for i := 0; i < nTerms && r.err == nil; i++ {
+			p.Terms = append(p.Terms, string(r.bytes("FEQueryReq PlainQuery term")))
+		}
+		if r.err == nil {
+			q.Plain = p
+		}
+	}
+	q.Tenant, q.CacheControl = "", 0
+	if r.err == nil && r.off < len(r.data) {
+		q.Tenant = string(r.bytes("FEQueryReq.Tenant"))
+		q.CacheControl = r.byte("FEQueryReq.CacheControl")
+	}
+	return r.finish("FEQueryReq")
+}
+
 // --- QueryResp ---
 
 // AppendWire implements wire.WireAppender.
@@ -484,7 +573,7 @@ func (h HealthReport) AppendWire(b []byte) []byte {
 		b = appendZigzag(b, int64(nh.QueueDepth))
 		b = binary.BigEndian.AppendUint64(b, math.Float64bits(nh.Speed))
 	}
-	if !h.HasExt() {
+	if !h.HasExt() && !h.HasTenantExt() {
 		return b
 	}
 	b = appendZigzag(b, int64(h.ShedNormal))
@@ -505,6 +594,21 @@ func (h HealthReport) AppendWire(b []byte) []byte {
 		b = appendZigzag(b, int64(nh.ID))
 		b = appendZigzag(b, nh.LatP50Nanos)
 		b = appendZigzag(b, nh.LatP99Nanos)
+	}
+	// Second extension block: per-tenant admission telemetry. Emitted
+	// only when present, so a tenant-free report keeps the exact bytes
+	// of the autoscale-only form (and, transitively, of the base form).
+	if !h.HasTenantExt() {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(h.Tenants)))
+	for _, tl := range h.Tenants {
+		b = binary.AppendUvarint(b, uint64(len(tl.Tenant)))
+		b = append(b, tl.Tenant...)
+		b = appendZigzag(b, int64(tl.Admitted))
+		b = appendZigzag(b, int64(tl.Shed))
+		b = appendZigzag(b, int64(tl.CacheHits))
+		b = appendZigzag(b, int64(tl.CacheMisses))
 	}
 	return b
 }
@@ -534,6 +638,7 @@ func (h *HealthReport) DecodeWire(data []byte) error {
 		}
 	}
 	h.ShedNormal, h.HedgesDenied, h.QueueP50Nanos, h.QueueP99Nanos = 0, 0, 0, 0
+	h.Tenants = nil
 	if r.err == nil && r.off < len(r.data) {
 		h.ShedNormal = int(r.zigzag("HealthReport.ShedNormal"))
 		h.HedgesDenied = int(r.zigzag("HealthReport.HedgesDenied"))
@@ -548,6 +653,21 @@ func (h *HealthReport) DecodeWire(data []byte) error {
 				if h.Nodes[j].ID == id {
 					h.Nodes[j].LatP50Nanos, h.Nodes[j].LatP99Nanos = p50, p99
 					break
+				}
+			}
+		}
+		if r.err == nil && r.off < len(r.data) {
+			nt := r.count("HealthReport.Tenants", 5)
+			if nt > 0 && r.err == nil {
+				h.Tenants = make([]TenantLoad, 0, capHint(nt))
+				for i := 0; i < nt && r.err == nil; i++ {
+					var tl TenantLoad
+					tl.Tenant = string(r.bytes("TenantLoad.Tenant"))
+					tl.Admitted = int(r.zigzag("TenantLoad.Admitted"))
+					tl.Shed = int(r.zigzag("TenantLoad.Shed"))
+					tl.CacheHits = int(r.zigzag("TenantLoad.CacheHits"))
+					tl.CacheMisses = int(r.zigzag("TenantLoad.CacheMisses"))
+					h.Tenants = append(h.Tenants, tl)
 				}
 			}
 		}

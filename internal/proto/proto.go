@@ -64,6 +64,19 @@ type PlainQuery struct {
 	Limit    int      `json:"limit,omitempty"`
 }
 
+// Cache-control values for FEQueryReq.CacheControl, mirrored by
+// frontend.QuerySpec. Zero (default) must mean "cache normally" so a
+// request without the field behaves like an old client's.
+const (
+	// CacheDefault: serve from the result cache when fresh, store on miss.
+	CacheDefault uint8 = 0
+	// CacheBypass: skip the cache entirely — no read, no store.
+	CacheBypass uint8 = 1
+	// CacheRefresh: skip the read but store the fresh result, forcing
+	// revalidation of a suspect entry.
+	CacheRefresh uint8 = 2
+)
+
 // FEQueryReq is a client query to a frontend. Priority selects the
 // admission class: 0 is normal, negative is sheddable (rejected first
 // when the frontend is overloaded), positive is never shed. Exactly one
@@ -74,9 +87,39 @@ type FEQueryReq struct {
 	Q        pps.Query   `json:"q"`
 	Priority int         `json:"priority,omitempty"`
 	Plain    *PlainQuery `json:"plain,omitempty"`
+
+	// Tenant names the accounting principal for per-tenant admission
+	// quotas and shed counters; empty means the anonymous default
+	// tenant. CacheControl is one of the Cache* values above. On the
+	// binary codec both ride a trailing extension block emitted only
+	// when at least one is set, so an anonymous default-cache request is
+	// byte-identical to the base encoding; a server that predates the
+	// extension rejects the trailing bytes, which the client latches as
+	// a downgrade signal (and re-probes every 16 requests — see
+	// internal/feclient). On JSON they are ordinary omitempty fields old
+	// servers ignore.
+	Tenant       string `json:"tenant,omitempty"`
+	CacheControl uint8  `json:"cache_control,omitempty"`
 }
 
-// FEQueryResp is the frontend's answer.
+// HasExt reports whether any trailing-extension field is set; the
+// binary encoder emits the extension block only then.
+func (q FEQueryReq) HasExt() bool {
+	return q.Tenant != "" || q.CacheControl != 0
+}
+
+// StripExt returns a copy with the extension fields zeroed — the form a
+// pre-extension server's strict binary decoder accepts.
+func (q FEQueryReq) StripExt() FEQueryReq {
+	q.Tenant, q.CacheControl = "", 0
+	return q
+}
+
+// FEQueryResp is the frontend's answer. It stays JSON-only on the wire:
+// clients from before this PR have no binary decoder for it, and the
+// response direction has no downgrade ladder — a server cannot learn
+// what its caller can decode. The newer fields are omitempty, so old
+// clients simply never see them.
 type FEQueryResp struct {
 	IDs        []uint64 `json:"ids,omitempty"`
 	DelayNanos int64    `json:"delay_ns"`
@@ -84,6 +127,8 @@ type FEQueryResp struct {
 	SubQueries int      `json:"sub_queries"`
 	Failures   int      `json:"failures"` // failed sub-queries recovered
 	Hedges     int      `json:"hedges"`   // speculative re-dispatches launched
+	// Source attributes the answer: "cache", "fanout", or "hedged".
+	Source string `json:"source,omitempty"`
 }
 
 // QueryReq asks a node to match the encrypted query against its stored
@@ -298,6 +343,17 @@ type View struct {
 	// mixed-version interop — the view stays JSON on the wire, so old
 	// peers simply ignore the field.
 	Term uint64 `json:"term,omitempty"`
+
+	// Ingested / Drained are the coordinator's ingest WAL watermarks at
+	// view-build time (see docs/INGEST.md): Ingested is the last durable
+	// append sequence, Drained the last sequence delivered to every
+	// owning node. Frontends use them to invalidate their result caches
+	// when asynchronous writes land without an epoch bump — a drain
+	// advances data without changing placement. JSON-only fields; old
+	// peers ignore them, and zero (an old or WAL-less coordinator) means
+	// "no ingest signal", never "rewind".
+	Ingested uint64 `json:"ingested,omitempty"`
+	Drained  uint64 `json:"drained,omitempty"`
 }
 
 // JoinReq registers a node with the membership server.
@@ -401,6 +457,31 @@ type HealthReport struct {
 	// deltas).
 	QueueP50Nanos int64 `json:"queue_p50_ns,omitempty"`
 	QueueP99Nanos int64 `json:"queue_p99_ns,omitempty"`
+
+	// Tenants carries per-tenant admission/shed/cache deltas since the
+	// last report, feeding the autoscale controller's fairness view. On
+	// the binary codec it rides a SECOND trailing extension block after
+	// the autoscale one (emitted only when non-empty, so reports without
+	// tenant data keep their existing bytes); a coordinator that has the
+	// autoscale block but predates tenants rejects the trailer, and the
+	// sender strips just this block first before falling all the way
+	// back (see frontend.Syncer).
+	Tenants []TenantLoad `json:"tenants,omitempty"`
+}
+
+// TenantLoad is one frontend's per-tenant admission counters since its
+// last report (deltas, like NodeHealth).
+type TenantLoad struct {
+	Tenant string `json:"tenant"`
+	// Admitted counts queries that passed admission (quota + semaphore).
+	Admitted int `json:"admitted,omitempty"`
+	// Shed counts queries rejected by quota exhaustion or overload.
+	Shed int `json:"shed,omitempty"`
+	// CacheHits / CacheMisses split the tenant's cache traffic; hits
+	// bypass admission entirely, so Admitted+Shed+CacheHits is the
+	// tenant's offered load.
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
 // HasExt reports whether any autoscale-extension field (including the
@@ -418,11 +499,26 @@ func (h HealthReport) HasExt() bool {
 	return false
 }
 
-// StripExt returns a copy with every extension field zeroed — the form
-// a pre-extension coordinator's strict binary decoder accepts. The base
-// evidence (suspicions, probes, contacts, depths, speeds) is preserved.
+// HasTenantExt reports whether the tenant telemetry block is present;
+// the binary encoder emits it (and therefore also the autoscale block
+// it trails) only then.
+func (h HealthReport) HasTenantExt() bool { return len(h.Tenants) > 0 }
+
+// StripTenants returns a copy without the tenant block — the form a
+// coordinator that has the autoscale extension but predates tenants
+// accepts. The first rung of the health downgrade ladder.
+func (h HealthReport) StripTenants() HealthReport {
+	h.Tenants = nil
+	return h
+}
+
+// StripExt returns a copy with every extension field zeroed (tenants
+// included) — the form a pre-extension coordinator's strict binary
+// decoder accepts. The base evidence (suspicions, probes, contacts,
+// depths, speeds) is preserved.
 func (h HealthReport) StripExt() HealthReport {
 	h.ShedNormal, h.HedgesDenied, h.QueueP50Nanos, h.QueueP99Nanos = 0, 0, 0, 0
+	h.Tenants = nil
 	if h.HasExt() { // some node carries a digest: copy before clearing
 		nodes := make([]NodeHealth, len(h.Nodes))
 		copy(nodes, h.Nodes)

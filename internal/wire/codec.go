@@ -93,7 +93,7 @@ func (b Body) Decode(v interface{}) error {
 	case codecBinary:
 		d, ok := v.(WireDecoder)
 		if !ok {
-			return fmt.Errorf("wire: %T cannot decode a binary body", v)
+			return &BinaryBodyError{Type: fmt.Sprintf("%T", v)}
 		}
 		return d.DecodeWire(b.data)
 	default:

@@ -82,6 +82,13 @@ const (
 	// must re-pull the view and re-route (declared by
 	// node.StaleEpochError, which must keep this literal in sync).
 	CodeStaleEpoch = "stale-epoch"
+	// CodeBinaryBody: the body arrived in the negotiated binary framing
+	// but the server's type for it has no binary decoder — the signal
+	// that the peer predates the body's binary codec entirely, so the
+	// caller should re-send the same request as JSON. Servers from
+	// before this code existed report the same condition uncoded; the
+	// downgrade ladders also match the message text.
+	CodeBinaryBody = "binary-body"
 )
 
 // ErrorCoder is implemented by handler errors that carry a
@@ -98,6 +105,18 @@ func (e *UnknownMethodError) Error() string {
 }
 
 func (e *UnknownMethodError) WireErrorCode() string { return CodeUnknownMethod }
+
+// BinaryBodyError is Body.Decode's rejection of a binary payload aimed
+// at a type with no binary decoder. It crosses the wire as
+// CodeBinaryBody; the rendered text keeps the historic fmt.Errorf
+// spelling so pre-code peers that match strings keep working.
+type BinaryBodyError struct{ Type string }
+
+func (e *BinaryBodyError) Error() string {
+	return "wire: " + e.Type + " cannot decode a binary body"
+}
+
+func (e *BinaryBodyError) WireErrorCode() string { return CodeBinaryBody }
 
 // RemoteError is a failure the remote HANDLER reported — as opposed to
 // a transport failure (dial, framing, connection loss), which never

@@ -135,6 +135,60 @@ func (c *Corpus) one(i int) FileMeta {
 	return FileMeta{Path: path, Size: size, Modified: mod, Keywords: kws}
 }
 
+// QueryStream draws query ranks under a Zipf popularity law over a
+// universe of n distinct queries — the repeat-traffic model behind the
+// frontend result cache (docs/ECONOMICS.md). At the web-search-like
+// s = 1.0 roughly a third of an infinite stream repeats a recently-seen
+// rank, which is what makes result caching pay.
+type QueryStream struct {
+	z *Zipf
+}
+
+// NewQueryStream returns a Zipf(s) query-rank sampler over [0, n).
+func NewQueryStream(n uint64, s float64, rng *rand.Rand) *QueryStream {
+	return &QueryStream{z: NewZipf(n, s, rng)}
+}
+
+// Next draws the next query rank in [0, n).
+func (q *QueryStream) Next() uint64 { return q.z.Draw() }
+
+// TenantMix draws tenant ids for a multi-tenant query stream: one "hot"
+// tenant emits hotShare of all queries and the remainder spreads
+// uniformly over n-1 well-behaved tenants — the adversarial shape the
+// per-tenant admission quotas must isolate (a hot tenant at 10x offered
+// load must be shed before its neighbours are).
+type TenantMix struct {
+	rng      *rand.Rand
+	n        int
+	hotShare float64
+}
+
+// NewTenantMix returns a mix over n >= 1 tenants. hotShare is clamped to
+// [0, 1]; with n == 1 every draw is the hot tenant.
+func NewTenantMix(n int, hotShare float64, rng *rand.Rand) *TenantMix {
+	if n < 1 {
+		n = 1
+	}
+	if hotShare < 0 {
+		hotShare = 0
+	}
+	if hotShare > 1 {
+		hotShare = 1
+	}
+	return &TenantMix{rng: rng, n: n, hotShare: hotShare}
+}
+
+// Hot returns the hot tenant's id.
+func (m *TenantMix) Hot() string { return "tenant-0" }
+
+// Next draws the next query's tenant id.
+func (m *TenantMix) Next() string {
+	if m.n == 1 || m.rng.Float64() < m.hotShare {
+		return m.Hot()
+	}
+	return fmt.Sprintf("tenant-%d", 1+m.rng.Intn(m.n-1))
+}
+
 // ServerModel is a hardware profile, mirroring Table 7.1. Speeds are in
 // metadata objects matched per second, calibrated from the §5.7
 // single-machine measurements (Dell 1950: ~290k obj/s disk-bound,

@@ -167,3 +167,48 @@ func TestPerturbSpeeds(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryStreamRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	qs := NewQueryStream(10000, 1.0, rng)
+	seen := map[uint64]bool{}
+	repeats := 0
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		r := qs.Next()
+		if r >= 10000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if seen[r] {
+			repeats++
+		}
+		seen[r] = true
+	}
+	// Zipf s=1.0 over 10k ranks repeats far more than uniform would
+	// (~22% of 5k uniform draws); the cache-economics floor is ~30%.
+	if frac := float64(repeats) / draws; frac < 0.3 {
+		t.Errorf("repeat fraction %.2f, want >= 0.30 under Zipf s=1.0", frac)
+	}
+}
+
+func TestTenantMixShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewTenantMix(11, 0.5, rng)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[m.Next()]++
+	}
+	hot := float64(counts[m.Hot()]) / draws
+	if hot < 0.45 || hot > 0.55 {
+		t.Errorf("hot tenant share %.3f, want ~0.5", hot)
+	}
+	if len(counts) != 11 {
+		t.Errorf("saw %d tenants, want 11", len(counts))
+	}
+	// Degenerate shapes stay valid.
+	one := NewTenantMix(1, 0, rng)
+	if one.Next() != one.Hot() {
+		t.Error("single-tenant mix must always draw the hot tenant")
+	}
+}
